@@ -1,0 +1,20 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one of the paper's evaluation artifacts.
+pytest-benchmark measures the wall time of the functional/model layer;
+the artifact itself (the paper-vs-model comparison) is printed so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    print(f"\n{'#' * 74}\n# {title}\n{'#' * 74}\n{text}")
+
+
+@pytest.fixture
+def report():
+    return emit

@@ -1,0 +1,116 @@
+"""Ablations — §5.1/§5.2 design knobs: compute-unit replication scaling,
+ND-range SIMD vectorization scaling (CFD's V<=2), LavaMD's unroll edge,
+and SRAD's work-group x SIMD tuning grid."""
+
+import pytest
+
+from repro.altis import Variant
+from repro.altis.lavamd import LavaMD
+from repro.altis.srad import Srad
+from repro.common.errors import FpgaToolError, TimingViolationError
+from repro.fpga import Design, KernelDesign, synthesize
+from repro.perfmodel import FpgaModel, KernelProfile, get_spec
+from repro.sycl import KernelAttributes, KernelSpec
+
+
+def _stream_kernel(simd=1):
+    return KernelSpec(name="stream", vector_fn=lambda nd, *a: None,
+                      attributes=KernelAttributes(num_simd_work_items=simd),
+                      features={"body_fmas": 6, "body_ops": 12,
+                                "global_access_sites": 2})
+
+
+def test_replication_scaling(benchmark, report):
+    """§5.1: replicate while each step keeps paying off; the payoff
+    flattens once memory-bound."""
+    spec = get_spec("stratix10")
+    prof = KernelProfile(name="stream", flops=4e8, global_bytes=2e8,
+                         work_items=1 << 22)
+
+    def sweep():
+        times = {}
+        for repl in (1, 2, 4, 8, 16):
+            model = FpgaModel(spec, replication=repl)
+            times[repl] = model.nd_range_time_s(_stream_kernel(), prof).time_s
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["repl   time [ms]   speedup vs 1x"]
+    for repl, t in times.items():
+        lines.append(f"{repl:>4}   {t * 1e3:>9.3f}   {times[1] / t:>6.2f}x")
+    # early steps scale; late steps saturate at the bandwidth wall
+    assert times[1] / times[2] > 1.8
+    assert times[8] / times[16] < 1.3
+    report("Ablation: compute-unit replication (§5.1)", "\n".join(lines))
+
+
+def test_cfd_simd_scales_only_to_two(benchmark, report):
+    """§5.2: 'the performance of CFD FP32 only scales up to V = 2'."""
+    from repro.altis.cfd import Cfd
+
+    app = Cfd()
+    nel = app._NEL[3]
+    prof = app._profile(nel)
+    spec = get_spec("stratix10")
+
+    def sweep():
+        out = {}
+        for simd in (1, 2, 4, 8):
+            kern = app.kernels(Variant.FPGA_OPT)["compute_flux"]
+            kern = kern.with_attributes(num_simd_work_items=simd)
+            model = FpgaModel(spec, replication=4)
+            out[simd] = model.nd_range_time_s(kern, prof).time_s
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["SIMD   time [ms]   speedup vs V=1"]
+    for simd, t in times.items():
+        lines.append(f"{simd:>4}   {t * 1e3:>9.3f}   {times[1] / t:>6.2f}x")
+    assert times[1] / times[2] > 1.5   # V=2 pays
+    assert times[2] / times[8] < 1.5   # beyond V=2: bandwidth-bound
+    report("Ablation: CFD FP32 vectorization (§5.2)", "\n".join(lines))
+
+
+def test_lavamd_unroll_edge(benchmark, report):
+    """§5.2 case 1: ~linear gains to 30x; beyond it timing violations."""
+    kern = LavaMD().kernels(Variant.FPGA_OPT)["lavamd_kernel"]
+    spec = get_spec("stratix10")
+
+    def sweep():
+        rows = []
+        for unroll in (1, 8, 16, 30, 45, 60):
+            try:
+                syn = synthesize(Design(f"u{unroll}").add(
+                    KernelDesign(kern, unroll=unroll)), spec)
+                rows.append((unroll, syn.fmax_mhz, "ok"))
+            except TimingViolationError:
+                rows.append((unroll, None, "TIMING VIOLATION"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["unroll   Fmax [MHz]   outcome"]
+    for unroll, fmax, outcome in rows:
+        fm = f"{fmax:.1f}" if fmax else "-"
+        lines.append(f"{unroll:>6}   {fm:>10}   {outcome}")
+    assert rows[3][2] == "ok"            # 30x closes
+    assert rows[-1][2] != "ok"           # 60x violates
+    report("Ablation: LavaMD unroll (§5.2 case 1)", "\n".join(lines))
+
+
+def test_srad_wg_simd_grid(benchmark, report):
+    """§5.2 case 2: the (work-group, SIMD) tuning grid; 64x64 with
+    SIMD=2 beats 16x16 with SIMD=8."""
+    grid = benchmark.pedantic(Srad().fpga_ndrange_ablation,
+                              rounds=1, iterations=1)
+    lines = ["wg     SIMD   outcome/time"]
+    for (wg, simd), val in sorted(grid.items()):
+        out = f"{val * 1e3:.3f} ms" if isinstance(val, float) else val
+        lines.append(f"{wg:>4}x{wg:<4}{simd:>3}   {out}")
+    t_64_2, t_16_8 = grid[(64, 2)], grid[(16, 8)]
+    assert isinstance(t_64_2, float)
+    if isinstance(t_16_8, float):
+        assert t_64_2 < t_16_8
+        lines.append(f"\n64x64/SIMD2 vs 16x16/SIMD8: {t_16_8 / t_64_2:.2f}x"
+                     " (paper: ~4x)")
+    report("Ablation: SRAD work-group x SIMD grid (§5.2 case 2)",
+           "\n".join(lines))

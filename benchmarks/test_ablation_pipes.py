@@ -1,0 +1,38 @@
+"""Ablation — §5.3 pipes: the KMeans baseline (four kernels through
+global memory) vs the pipe-connected dataflow pair (Fig. 3)."""
+
+from repro.altis import Variant, make_app
+from repro.sycl import Queue
+
+
+def test_kmeans_pipe_ablation_model(benchmark, report):
+    app = make_app("KMeans")
+
+    def sweep():
+        rows = []
+        for size in (1, 2, 3):
+            base = app.fpga_time(size, False, "stratix10")
+            opt = app.fpga_time(size, True, "stratix10")
+            rows.append((size, base.total_s, opt.total_s,
+                         base.total_s / opt.total_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'size':>4}{'baseline [s]':>14}{'pipes [s]':>12}{'speedup':>9}"
+             "   (paper: 489x/500x/510x)"]
+    for size, b, o, r in rows:
+        lines.append(f"{size:>4}{b:>14.4f}{o:>12.6f}{r:>9.1f}")
+        assert r > 300
+    report("Ablation: KMeans pipes (Fig. 3 / §5.3)", "\n".join(lines))
+
+
+def test_kmeans_pipe_dataflow_functional(benchmark):
+    """Wall-clock of the functional dataflow execution itself."""
+    app = make_app("KMeans")
+    wl = app.generate(1, scale=0.02)
+
+    def run():
+        return app.run_sycl(Queue("stratix10"), wl, Variant.FPGA_OPT)
+
+    result = benchmark(run)
+    app.verify(result, app.reference(wl), rtol=1e-3, atol=1e-3)

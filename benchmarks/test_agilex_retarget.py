@@ -1,0 +1,103 @@
+"""§5.5 — retargeting from Stratix 10 to Agilex: the retuned knob table,
+per-design frequency uplift, and the Agilex Fig. 4 sweep."""
+
+from repro.altis import make_app
+from repro.altis.lavamd import LavaMD
+from repro.altis.nw import NW
+from repro.altis.srad import Srad
+from repro.common.errors import ReproError
+from repro.fpga import synthesize
+from repro.harness import figure4, render_speedup_grid
+from repro.perfmodel import get_spec
+
+
+def test_retuned_parameters(report):
+    """The paper's §5.5 knob adjustments, as shipped in the designs."""
+    from repro.altis.cfd import Cfd
+    from repro.altis.particlefilter import ParticleFilter
+    from repro.altis.raytracing import Raytracing
+    from repro.altis.where import Where
+
+    rows = [
+        ("SRAD work-group edge", Srad._FPGA_TUNING["stratix10"][0],
+         Srad._FPGA_TUNING["agilex"][0], "16 -> 32"),
+        ("CFD FP32 replication", Cfd._FPGA_REPLICATION[("stratix10", False)],
+         Cfd._FPGA_REPLICATION[("agilex", False)], "4 -> 8"),
+        ("Where scan replication", Where._FPGA_TUNING["stratix10"][0],
+         Where._FPGA_TUNING["agilex"][0], "2 -> 4"),
+        ("Where mark/scatter repl", Where._FPGA_TUNING["stratix10"][1],
+         Where._FPGA_TUNING["agilex"][1], "20 -> 25"),
+        ("NW replication", NW._FPGA_REPLICATION["stratix10"],
+         NW._FPGA_REPLICATION["agilex"], "16 -> 8"),
+        ("PF Naive replication",
+         ParticleFilter._FPGA_REPLICATION["stratix10"][0],
+         ParticleFilter._FPGA_REPLICATION["agilex"][0], "10 -> 4"),
+        ("PF Float replication",
+         ParticleFilter._FPGA_REPLICATION["stratix10"][1],
+         ParticleFilter._FPGA_REPLICATION["agilex"][1], "50 -> 24"),
+        ("LavaMD unroll", LavaMD._FPGA_UNROLL["stratix10"],
+         LavaMD._FPGA_UNROLL["agilex"], "30 -> 16"),
+        ("Raytracing unroll", Raytracing._FPGA_UNROLL["stratix10"],
+         Raytracing._FPGA_UNROLL["agilex"], "30 -> 16"),
+    ]
+    lines = [f"{'knob':<26}{'S10':>6}{'Agilex':>8}   paper §5.5"]
+    for name, s10, agx, paper in rows:
+        lines.append(f"{name:<26}{s10:>6}{agx:>8}   {paper}")
+    report("Agilex retargeting knobs (§5.5)", "\n".join(lines))
+
+
+def test_agilex_frequency_uplift(benchmark, report):
+    """Table 3: every design closes higher on Agilex."""
+    configs = ("KMeans", "NW", "SRAD", "Mandelbrot", "LavaMD")
+
+    def sweep():
+        rows = []
+        for config in configs:
+            app = make_app(config)
+            f = {}
+            for dev in ("stratix10", "agilex"):
+                setup = app.fpga_setup(3, True, dev)
+                f[dev] = synthesize(setup.design, get_spec(dev)).fmax_mhz
+            rows.append((config, f["stratix10"], f["agilex"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'config':<14}{'S10 MHz':>9}{'Agilex MHz':>12}{'uplift':>8}"]
+    for config, s10, agx in rows:
+        lines.append(f"{config:<14}{s10:>9.1f}{agx:>12.1f}{agx / s10:>7.2f}x")
+        assert agx > s10
+    report("Agilex frequency uplift (Table 3)", "\n".join(lines))
+
+
+def test_agilex_fig4_sweep(benchmark, report):
+    """Fig. 4-style optimized/baseline sweep on the Agilex, minus the
+    Where size-3 crash (§5.5)."""
+    def sweep():
+        out = {}
+        for config, row in figure4("agilex").items():
+            out[config] = row
+        return out
+
+    def figure4_agilex():
+        from repro.altis import SIZES
+        from repro.altis.registry import FIG4_CONFIGS
+
+        out = {}
+        for config in FIG4_CONFIGS:
+            app = make_app(config)
+            row = []
+            for size in SIZES:
+                try:
+                    base = app.fpga_time(size, False, "agilex")
+                    opt = app.fpga_time(size, True, "agilex")
+                    row.append(base.total_s / opt.total_s)
+                except ReproError:
+                    row.append(None)
+            out[config] = tuple(row)
+        return out
+
+    model = benchmark.pedantic(figure4_agilex, rounds=1, iterations=1)
+    assert model["Where"][2] is None  # the §5.5 crash
+    assert model["KMeans"][2] > 300
+    report("Figure 4 analogue on Agilex",
+           render_speedup_grid("Agilex optimized/baseline", model))

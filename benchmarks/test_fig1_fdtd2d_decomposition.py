@@ -1,0 +1,15 @@
+"""Figure 1 — FDTD2D execution-time decomposition, CUDA vs SYCL."""
+
+from repro.harness import PAPER_FIG1, figure1, render_figure1
+
+
+def test_figure1_decomposition(benchmark, report):
+    model = benchmark(figure1)
+    assert set(model) == set(PAPER_FIG1)
+    # shape assertions (the bars the text discusses)
+    k1, nk1 = model[(1, "sycl")]
+    assert nk1 > k1  # size 1: SYCL non-kernel dominates
+    k3, nk3 = model[(3, "sycl")]
+    assert k3 > nk3  # size 3: kernel dominates
+    report("Figure 1 (FDTD2D on RTX 2080)",
+           render_figure1(model, PAPER_FIG1))

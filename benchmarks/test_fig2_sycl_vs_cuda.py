@@ -1,0 +1,29 @@
+"""Figure 2 — SYCL-over-CUDA speedups on the RTX 2080, baseline and
+optimized, all 13 configurations x 3 sizes."""
+
+import pytest
+
+from repro.common.utils import geomean
+from repro.harness import (
+    PAPER_FIG2_BASELINE,
+    PAPER_FIG2_OPTIMIZED,
+    figure2,
+    render_speedup_grid,
+)
+
+
+def test_figure2_baseline(benchmark, report):
+    model = benchmark.pedantic(figure2, args=(False,), rounds=1, iterations=1)
+    assert set(model) == set(PAPER_FIG2_BASELINE)
+    report("Figure 2 — baseline SYCL vs CUDA (RTX 2080)",
+           render_speedup_grid("baseline", model, PAPER_FIG2_BASELINE))
+
+
+def test_figure2_optimized(benchmark, report):
+    model = benchmark.pedantic(figure2, args=(True,), rounds=1, iterations=1)
+    # the headline claim: geomeans ~1.0x / 1.1x / 1.3x
+    for i, paper in enumerate((1.0, 1.1, 1.3)):
+        gm = geomean([row[i] for row in model.values()])
+        assert gm == pytest.approx(paper, abs=0.25)
+    report("Figure 2 — optimized SYCL vs CUDA (RTX 2080)",
+           render_speedup_grid("optimized", model, PAPER_FIG2_OPTIMIZED))

@@ -1,0 +1,18 @@
+"""Figure 4 — FPGA optimized-over-baseline speedups on the Stratix 10."""
+
+from repro.common.utils import geomean
+from repro.harness import PAPER_FIG4, figure4, render_speedup_grid
+
+
+def test_figure4_stratix10(benchmark, report):
+    model = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    assert set(model) == set(PAPER_FIG4)
+    # paper geomeans: ~10.7x / ~20.7x / ~35.6x
+    paper_geo = (10.7, 20.7, 35.6)
+    lines = [render_speedup_grid("Stratix 10 optimized/baseline", model,
+                                 PAPER_FIG4), ""]
+    for i, p in enumerate(paper_geo):
+        gm = geomean([row[i] for row in model.values()])
+        lines.append(f"geomean size {i + 1}: model {gm:.1f}x  paper ~{p}x")
+        assert gm / p < 1.6 and p / gm < 1.6
+    report("Figure 4", "\n".join(lines))

@@ -1,0 +1,22 @@
+"""Figure 5 — relative speedup over the Xeon CPU on all five devices."""
+
+from repro.harness import (
+    PAPER_FIG5,
+    PAPER_FIG5_GEOMEANS,
+    figure5,
+    figure5_geomeans,
+    render_figure5,
+)
+
+
+def test_figure5_all_devices(benchmark, report):
+    model = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    gm = figure5_geomeans(model)
+    # the paper's qualitative headline: FPGAs trail GPUs overall and
+    # their advantage diminishes at size 3
+    assert gm["stratix10"][2] < gm["stratix10"][0]
+    assert gm["rtx2080"][0] > gm["stratix10"][0]
+    # the Agilex Where size-3 crash removes that datapoint
+    assert model["agilex"]["Where"][2] is None
+    report("Figure 5",
+           render_figure5(model, PAPER_FIG5, gm, PAPER_FIG5_GEOMEANS))

@@ -1,0 +1,19 @@
+"""Table 2 — the accelerator-device catalogue."""
+
+from repro.harness import render_table2, table2
+from repro.perfmodel.spec import FPGA_PEAK_BRACKETS, fpga_peak_fp32_tflops, get_spec
+
+
+def test_table2_catalogue(benchmark, report):
+    rows = benchmark(table2)
+    assert len(rows) == 6
+    lines = [render_table2(rows), ""]
+    for key, (lo, hi) in FPGA_PEAK_BRACKETS.items():
+        spec = get_spec(key)
+        lines.append(
+            f"{spec.name}: attainable peak "
+            f"{fpga_peak_fp32_tflops(spec.compute_units, spec.fmax_min_mhz):.1f}"
+            f"-{fpga_peak_fp32_tflops(spec.compute_units, spec.fmax_max_mhz):.1f}"
+            f" TFLOP/s (paper: {lo}-{hi})"
+        )
+    report("Table 2", "\n".join(lines))

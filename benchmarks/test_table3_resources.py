@@ -1,0 +1,23 @@
+"""Table 3 — resource utilization and Fmax of every shipped FPGA design
+on Stratix 10 and Agilex."""
+
+from repro.fpga import render_table3
+from repro.harness import PAPER_TABLE3, table3
+
+
+def test_table3_synthesis(benchmark, report):
+    rows = benchmark.pedantic(table3, rounds=1, iterations=1)
+    assert len(rows) == 14  # 11 configs + 3 Mandelbrot size bitstreams
+    for row in rows:
+        assert row.stratix10.resources.fits()
+        assert row.agilex.resources.fits()
+        assert row.agilex.fmax_mhz > row.stratix10.fmax_mhz  # Table 3 trend
+    lines = [render_table3(rows), "", "paper values:"]
+    for app, vals in PAPER_TABLE3.items():
+        lines.append(
+            f"  {app:<22} ALM {vals[0]:>5.1f}/{vals[1]:>5.1f}  "
+            f"BRAM {vals[2]:>5.1f}/{vals[3]:>5.1f}  "
+            f"DSP {vals[4]:>5.1f}/{vals[5]:>5.1f}  "
+            f"MHz {vals[6]:>6.1f}/{vals[7]:>6.1f}  {vals[8]}"
+        )
+    report("Table 3", "\n".join(lines))

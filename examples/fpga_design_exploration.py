@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""FPGA design-space exploration, the way §4-§5 of the paper does it.
+
+Takes the LavaMD kernel and walks the optimization ladder on a modeled
+Stratix 10: baseline -> static local memory -> unrolling sweep (to the
+timing-closure edge) -> the Agilex retarget.  Every step prints the
+fitter's view (ALM/BRAM/DSP, Fmax) and the modeled kernel time.
+
+Run:  python examples/fpga_design_exploration.py
+"""
+
+from repro.altis import Variant
+from repro.altis.lavamd import LavaMD
+from repro.common.errors import FitError, TimingViolationError
+from repro.fpga import Design, KernelDesign, synthesize
+from repro.perfmodel import FpgaModel, get_spec
+
+
+def try_build(design: Design, device_key: str):
+    """Synthesize and report; returns the result or the failure reason."""
+    spec = get_spec(device_key)
+    try:
+        syn = synthesize(design, spec)
+    except TimingViolationError as exc:
+        return None, f"timing violation ({exc})"
+    except FitError as exc:
+        return None, f"does not fit ({exc})"
+    util = syn.utilization_percent()
+    return syn, (f"ALM {util['alm']:5.1f}%  BRAM {util['bram']:5.1f}%  "
+                 f"DSP {util['dsp']:5.1f}%  Fmax {syn.fmax_mhz:6.1f} MHz")
+
+
+def main() -> None:
+    app = LavaMD()
+    size = 3
+    dims = app.nominal_dims(size)
+
+    print("=" * 72)
+    print("LavaMD on Stratix 10: the paper's optimization ladder (§5.2)")
+    print("=" * 72)
+
+    # Step 0: the DPCT baseline (dynamic accessors, helper headers)
+    base_kernel = app.kernels(Variant.FPGA_BASE)["lavamd_kernel"]
+    design = Design("lavamd_baseline", dpct_headers=True).add(
+        KernelDesign(base_kernel))
+    syn, msg = try_build(design, "stratix10")
+    prof = app._profile(dims["boxes1d"], dims["par"])
+    t_base = FpgaModel(get_spec("stratix10"), syn).kernel_time_s(
+        base_kernel, prof)
+    print(f"\n[baseline: migrated ND-range, dynamic accessors]\n  {msg}"
+          f"\n  modeled kernel time: {t_base * 1e3:.1f} ms")
+
+    # Step 1: group_local_memory_for_overwrite (static local memory, §5.2)
+    opt_kernel = app.kernels(Variant.FPGA_OPT)["lavamd_kernel"]
+    design = Design("lavamd_static_local").add(KernelDesign(opt_kernel))
+    syn, msg = try_build(design, "stratix10")
+    print(f"\n[static local memory via group_local_memory_for_overwrite]\n  {msg}")
+
+    # Step 2: unrolling sweep over the shared-memory bottleneck loop
+    print("\n[unrolling the bottleneck loop - §5.2 case 1]")
+    print(f"  {'unroll':>6}  {'outcome':<52}{'t [ms]':>8}")
+    best = None
+    for unroll in (1, 4, 8, 16, 30, 40, 60):
+        design = Design(f"lavamd_u{unroll}").add(
+            KernelDesign(opt_kernel, unroll=unroll))
+        syn, msg = try_build(design, "stratix10")
+        if syn is None:
+            print(f"  {unroll:>6}  {msg:<52}{'-':>8}")
+            continue
+        prof_u = app._profile(dims["boxes1d"], dims["par"], fpga_unroll=unroll)
+        t = FpgaModel(get_spec("stratix10"), syn).kernel_time_s(opt_kernel, prof_u)
+        print(f"  {unroll:>6}  {msg:<52}{t * 1e3:>8.1f}")
+        if best is None or t < best[1]:
+            best = (unroll, t)
+    print(f"\n  best closing configuration: unroll {best[0]}x "
+          f"({t_base / best[1]:.1f}x over baseline; paper Fig. 4: ~25x)")
+
+    # Step 3: retarget to Agilex (§5.5: unroll 30 -> 16)
+    print("\n[retargeting to Agilex - §5.5]")
+    for unroll in (30, 16):
+        design = Design(f"lavamd_agx_u{unroll}").add(
+            KernelDesign(opt_kernel, unroll=unroll))
+        syn, msg = try_build(design, "agilex")
+        print(f"  unroll {unroll:>2} on Agilex: {msg}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The DPCT migration workflow of §3.2, end-to-end on one application.
+
+Mirrors the paper's process for Raytracing — the app with every
+migration hazard: intercept-build, automatic migration (with the
+warning taxonomy), the discovery that the app *doesn't run* despite a
+clean migration (silent hazards: virtual functions, in-kernel
+new/delete), the manual fixes, and finally the suite-wide statistics.
+
+Run:  python examples/migration_workflow.py
+"""
+
+from repro.altis import make_app
+from repro.altis.registry import suite_source_models
+from repro.dpct import FixKind, Migrator, build_report, intercept_build
+
+
+def main() -> None:
+    app = make_app("Raytracing")
+    source = app.source_model()
+
+    print("=" * 70)
+    print(f"Migrating {source.app} ({source.lines_of_code} lines of CUDA)")
+    print("=" * 70)
+
+    # 1. intercept-build: capture the compiler commands
+    db = intercept_build(source)
+    print(f"\n[intercept-build] captured {len(db)} build commands")
+
+    # 2. run the migrator
+    migrator = Migrator()
+    result = migrator.migrate(source, db)
+    print(f"\n[dpct] auto-migrated ~{result.auto_migrated_fraction:.0%} "
+          f"of constructs; emitted {result.warning_count} warnings:")
+    for category, count in result.warnings_by_category().items():
+        print(f"    {category.value:<20} {count}")
+
+    # 3. the catch: the migrated app does not run (§3.2.2)
+    print(f"\n[first run] executes without errors? "
+          f"{result.runs_without_errors()}")
+    for kind, count in result.silent_hazards.items():
+        print(f"    silent hazard: {count}x {kind} "
+              "(migrated without any diagnostic!)")
+
+    # 4. the manual fixes the paper describes
+    print("\n[manual fixes]")
+    for fix in (FixKind.REMOVE_VIRTUAL_FUNCTIONS,
+                FixKind.HOIST_DEVICE_ALLOCATION,
+                FixKind.CHRONO_TO_SYCL_EVENTS):
+        result.apply_fix(fix)
+        print(f"    applied {fix.value}")
+    print(f"[after fixes] executes without errors? "
+          f"{result.runs_without_errors()}")
+
+    # 5. suite-wide statistics (§3.2.1)
+    print("\n" + "=" * 70)
+    print("Whole-suite migration (11 apps + common infrastructure)")
+    print("=" * 70)
+    report = build_report([migrator.migrate(sm)
+                           for sm in suite_source_models()])
+    print(report.render())
+    print(f"\npaper: ~40k LoC, 2,535 warnings, ~70% of apps running "
+          f"after diagnostics (model: {report.fraction_running():.0%})")
+
+
+if __name__ == "__main__":
+    main()

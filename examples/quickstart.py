@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: run one Altis benchmark end-to-end.
+
+This walks the three layers of the reproduction:
+
+1. the **functional layer** — generate a KMeans workload, run it through
+   the SYCL runtime model, and verify the result against numpy;
+2. the **device models** — ask the analytical layer what the same run
+   costs on every Table 2 device;
+3. the **paper harness** — regenerate one figure cell.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.altis import Variant, make_app
+from repro.common.utils import human_time
+from repro.harness import figure2
+from repro.sycl import Queue
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Functional: real clustering through the SYCL runtime model
+    # ------------------------------------------------------------------
+    app = make_app("KMeans")
+    workload = app.generate(size=1, seed=42, scale=0.02)
+    queue = Queue("rtx2080")
+
+    result = app.run_sycl(queue, workload, Variant.SYCL_OPT)
+    expected = app.reference(workload)
+    app.verify(result, expected, rtol=1e-3, atol=1e-3)
+
+    p = workload.params
+    print(f"KMeans: clustered {p['n']} points, {p['k']} clusters, "
+          f"{p['iterations']} Lloyd iterations - verified against numpy")
+    print(f"  modeled kernel time on RTX 2080 : "
+          f"{human_time(queue.kernel_time_s())}")
+    print(f"  modeled non-kernel (overheads)  : "
+          f"{human_time(queue.non_kernel_time_s())}")
+
+    # ------------------------------------------------------------------
+    # 2. Analytical: the same benchmark on every device of Table 2
+    # ------------------------------------------------------------------
+    print("\nModeled full-size (input size 3) run time per device:")
+    for dev in ("xeon6128", "rtx2080", "a100", "max1100"):
+        t = app.reported_time_s(3, Variant.SYCL_OPT, dev)
+        print(f"  {dev:<10} {human_time(t)}")
+    for dev in ("stratix10", "agilex"):
+        t = app.fpga_time(3, True, dev).total_s
+        print(f"  {dev:<10} {human_time(t)}  (optimized FPGA dataflow design)")
+
+    # ------------------------------------------------------------------
+    # 3. Paper harness: one Figure 2 row
+    # ------------------------------------------------------------------
+    fig2 = figure2(optimized=True)
+    s1, s2, s3 = fig2["KMeans"]
+    print(f"\nFigure 2, KMeans (optimized SYCL over CUDA on RTX 2080):")
+    print(f"  model : {s1:.2f}x / {s2:.2f}x / {s3:.2f}x")
+    print(f"  paper : 0.40x / 0.70x / 1.00x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The whole Altis suite shape: Levels 0, 1, and 2 in one sweep.
+
+Level 0 characterizes the modeled devices (the numbers every other
+model builds on), Level 1 runs the classic parallel algorithms, and
+Level 2 is the paper's Table 1 — here run as the functional
+verification sweep, with the Altis-style multi-pass ResultDB report.
+
+Run:  python examples/suite_levels.py
+"""
+
+from repro.altis import LEVEL1_BENCHMARKS, run_level0
+from repro.altis.registry import APP_FACTORIES
+from repro.harness.cli import run_benchmark
+from repro.harness.resultdb import ResultDB
+from repro.sycl import Queue
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Level 0: device characteristics
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    print("Level 0 - device characteristics (modeled)")
+    print("=" * 72)
+    for dev in ("xeon6128", "rtx2080", "a100", "stratix10"):
+        db = run_level0(dev)
+        triad = db.get("DeviceMemory", "triad_bw").mean
+        flops = db.get("MaxFlops", "sp_flops").mean
+        launch = db.get("KernelLaunch", "launch_overhead").mean
+        print(f"  {dev:<10} triad {triad:7.1f} GB/s   "
+              f"SP {flops:8.0f} GFLOP/s   launch {launch:5.1f} us")
+
+    # ------------------------------------------------------------------
+    # Level 1: parallel building blocks, verified
+    # ------------------------------------------------------------------
+    print("\n" + "=" * 72)
+    print("Level 1 - parallel algorithms (functional, verified)")
+    print("=" * 72)
+    import numpy as np
+
+    queue = Queue("rtx2080")
+    for name, cls in LEVEL1_BENCHMARKS.items():
+        bench = cls()
+        w = bench.generate()
+        out = bench.run_sycl(queue, w)
+        ref = bench.reference(w)
+        ok = np.allclose(np.asarray(out, dtype=np.float64),
+                         np.asarray(ref, dtype=np.float64), rtol=1e-4)
+        print(f"  {name:<12} {'verified' if ok else 'MISMATCH'}")
+
+    # ------------------------------------------------------------------
+    # Level 2: the paper's applications through the Altis-style harness
+    # ------------------------------------------------------------------
+    print("\n" + "=" * 72)
+    print("Level 2 - Table 1 applications, 2 passes each (ResultDB)")
+    print("=" * 72)
+    from repro.altis import Variant
+
+    db = ResultDB()
+    for config in sorted(APP_FACTORIES):
+        run_benchmark(config, size=1, device_key="rtx2080", passes=2,
+                      variant=Variant.SYCL_OPT, scale=None, db=db)
+    print(db.render())
+
+
+if __name__ == "__main__":
+    main()

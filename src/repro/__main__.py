@@ -1,0 +1,7 @@
+"""``python -m repro`` — the Altis-style command-line driver."""
+
+import sys
+
+from .harness.cli import main
+
+sys.exit(main())

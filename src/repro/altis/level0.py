@@ -1,0 +1,169 @@
+"""Altis Level-0 microbenchmarks.
+
+Altis structures its suite in levels; Level 0 measures raw device
+characteristics (the paper's Table 1 focuses on Level 2, but the whole
+suite — including these — went through the DPCT migration and
+contributes to the §3.2 statistics).  The reproduction implements them
+against the modeled runtime, so they *measure the models*:
+
+* :class:`BusSpeedDownload` / :class:`BusSpeedReadback` — host<->device
+  bandwidth sweep over block sizes (PCIe latency + bandwidth model);
+* :class:`DeviceMemory` — global-memory streaming bandwidth via a
+  saturating triad kernel;
+* :class:`MaxFlops` — peak attainable FLOP rate via a register-resident
+  FMA chain kernel;
+* :class:`KernelLaunch` — per-launch overhead via back-to-back empty
+  kernels (the quantity behind Fig. 1's non-kernel bars).
+
+Each returns results through a :class:`~repro.harness.resultdb.ResultDB`
+like the original harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..harness.resultdb import ResultDB
+from ..perfmodel.overhead import RuntimeKind, overheads_for
+from ..perfmodel.profile import KernelProfile
+from ..perfmodel.spec import get_spec
+from ..perfmodel.timeline import model_for
+from ..sycl.kernel import KernelSpec
+
+__all__ = [
+    "BusSpeedDownload",
+    "BusSpeedReadback",
+    "DeviceMemory",
+    "MaxFlops",
+    "KernelLaunch",
+    "LEVEL0_BENCHMARKS",
+    "run_level0",
+]
+
+#: transfer block sizes, 1 KiB .. 64 MiB (the Altis sweep)
+_BLOCK_SIZES = [1 << k for k in range(10, 27)]
+
+
+class _Level0:
+    name = ""
+
+    def run(self, device_key: str, db: ResultDB, passes: int = 1) -> None:
+        raise NotImplementedError
+
+
+class BusSpeedDownload(_Level0):
+    """Host -> device transfer bandwidth over block sizes."""
+
+    name = "BusSpeedDownload"
+    direction = "download"
+
+    def run(self, device_key: str, db: ResultDB, passes: int = 1) -> None:
+        spec = get_spec(device_key)
+        ov = overheads_for(RuntimeKind.SYCL, spec)
+        for _ in range(passes):
+            for nbytes in _BLOCK_SIZES:
+                t = ov.transfer_time_s(nbytes)
+                db.add_result(self.name, f"bw_{nbytes >> 10}KiB", "GB/s",
+                              nbytes / t / 1e9)
+
+
+class BusSpeedReadback(BusSpeedDownload):
+    """Device -> host; same path in the model (symmetric PCIe)."""
+
+    name = "BusSpeedReadback"
+    direction = "readback"
+
+
+class DeviceMemory(_Level0):
+    """Streaming global-memory bandwidth (triad: a = b + s*c)."""
+
+    name = "DeviceMemory"
+    ELEMENTS = 1 << 24
+
+    def kernel(self) -> KernelSpec:
+        def triad(nd_range, a, b, c, s):
+            np.multiply(c, s, out=a)
+            a += b
+
+        return KernelSpec(name="triad", vector_fn=triad,
+                          features={"body_fmas": 1, "body_ops": 2,
+                                    "global_access_sites": 3})
+
+    def profile(self) -> KernelProfile:
+        n = self.ELEMENTS
+        return KernelProfile(name="triad", flops=2.0 * n,
+                             global_bytes=3.0 * n * 4, work_items=n,
+                             compute_efficiency=0.9)
+
+    def run(self, device_key: str, db: ResultDB, passes: int = 1) -> None:
+        spec = get_spec(device_key)
+        model = model_for(spec)
+        prof = self.profile()
+        for _ in range(passes):
+            if spec.is_fpga:
+                # a bandwidth microbenchmark is built wide (SIMD/unroll)
+                # until the DDR interface, not the pipeline, is the limit
+                wide = self.kernel().with_attributes(num_simd_work_items=16)
+                t = model.nd_range_time_s(wide, prof).time_s
+            else:
+                t = model.kernel_time_s(prof)
+            db.add_result(self.name, "triad_bw", "GB/s",
+                          prof.global_bytes / t / 1e9)
+
+
+class MaxFlops(_Level0):
+    """Peak attainable FLOP rate via an FMA-chain kernel."""
+
+    name = "MaxFlops"
+    ELEMENTS = 1 << 20
+    FMAS_PER_ITEM = 512
+
+    def profile(self, fp64: bool = False) -> KernelProfile:
+        n = self.ELEMENTS
+        return KernelProfile(
+            name="maxflops", flops=2.0 * self.FMAS_PER_ITEM * n,
+            global_bytes=8.0 * n, work_items=n,
+            compute_efficiency=0.92, fp64=fp64)
+
+    def run(self, device_key: str, db: ResultDB, passes: int = 1) -> None:
+        spec = get_spec(device_key)
+        model = model_for(spec)
+        for _ in range(passes):
+            for fp64, tag in ((False, "sp"), (True, "dp")):
+                prof = self.profile(fp64)
+                if spec.is_fpga:
+                    t = prof.flops / (spec.peak_flops(fp64) * 0.85)
+                else:
+                    t = model.kernel_time_s(prof)
+                db.add_result(self.name, f"{tag}_flops", "GFLOP/s",
+                              prof.flops / t / 1e9)
+
+
+class KernelLaunch(_Level0):
+    """Per-launch overhead from back-to-back empty launches."""
+
+    name = "KernelLaunch"
+    LAUNCHES = 256
+
+    def run(self, device_key: str, db: ResultDB, passes: int = 1) -> None:
+        spec = get_spec(device_key)
+        ov = overheads_for(RuntimeKind.SYCL, spec)
+        for _ in range(passes):
+            total = self.LAUNCHES * (ov.launch_s + 2 * ov.event_s)
+            db.add_result(self.name, "launch_overhead", "us",
+                          total / self.LAUNCHES * 1e6)
+
+
+LEVEL0_BENCHMARKS = {
+    cls.name: cls
+    for cls in (BusSpeedDownload, BusSpeedReadback, DeviceMemory,
+                MaxFlops, KernelLaunch)
+}
+
+
+def run_level0(device_key: str = "rtx2080", passes: int = 1) -> ResultDB:
+    """Run the whole Level-0 set into one ResultDB."""
+    db = ResultDB()
+    for cls in LEVEL0_BENCHMARKS.values():
+        cls().run(device_key, db, passes)
+    return db

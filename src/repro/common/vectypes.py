@@ -1,0 +1,251 @@
+"""SYCL-style short vector types (``float2`` … ``float8``, ``int4`` …).
+
+The paper's FPGA data-type optimization (§5.1, Listing 1) fuses a
+heterogeneous ``material`` class into a single ``sycl::float8`` so the
+synthesis tool infers a stall-free memory system.  To express that
+transformation in the reproduction, we provide numpy-backed fixed-width
+vectors with SYCL's swizzle-free element accessors (``.x/.y/.z/.w`` and
+indexing), elementwise arithmetic, and dot/length helpers used by the
+Raytracing and LavaMD kernels.
+
+Vectors are deliberately small value types; bulk data lives in numpy
+arrays of shape ``(n, width)``, for which :func:`as_vec_array` provides a
+typed view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import InvalidParameterError
+
+__all__ = [
+    "Vec",
+    "float2",
+    "float3",
+    "float4",
+    "float8",
+    "float16",
+    "int2",
+    "int3",
+    "int4",
+    "double2",
+    "double3",
+    "double4",
+    "as_vec_array",
+    "vec_dot",
+    "vec_length",
+    "vec_normalize",
+    "vec_cross",
+]
+
+_COMPONENT_NAMES = "xyzw"
+
+
+class Vec:
+    """A fixed-width numeric vector backed by a numpy array.
+
+    Subclasses fix ``WIDTH`` and ``DTYPE``.  Arithmetic is elementwise and
+    supports scalar broadcast, matching SYCL's ``sycl::vec`` semantics.
+    """
+
+    WIDTH: int = 0
+    DTYPE: np.dtype = np.dtype(np.float32)
+
+    __slots__ = ("data",)
+
+    def __init__(self, *components):
+        if len(components) == 0:
+            self.data = np.zeros(self.WIDTH, dtype=self.DTYPE)
+        elif len(components) == 1:
+            first = components[0]
+            arr = np.asarray(first, dtype=self.DTYPE)
+            if arr.ndim == 0:
+                self.data = np.full(self.WIDTH, arr, dtype=self.DTYPE)
+            else:
+                if arr.shape != (self.WIDTH,):
+                    raise InvalidParameterError(
+                        f"{type(self).__name__} expects {self.WIDTH} components, "
+                        f"got shape {arr.shape}"
+                    )
+                self.data = arr.copy()
+        else:
+            if len(components) != self.WIDTH:
+                raise InvalidParameterError(
+                    f"{type(self).__name__} expects {self.WIDTH} components, "
+                    f"got {len(components)}"
+                )
+            self.data = np.array(components, dtype=self.DTYPE)
+
+    # -- element access ---------------------------------------------------
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = value
+
+    def __len__(self) -> int:
+        return self.WIDTH
+
+    def __iter__(self):
+        return iter(self.data)
+
+    def _component(self, i: int):
+        return self.data[i]
+
+    @property
+    def x(self):
+        return self.data[0]
+
+    @x.setter
+    def x(self, v):
+        self.data[0] = v
+
+    @property
+    def y(self):
+        return self.data[1]
+
+    @y.setter
+    def y(self, v):
+        self.data[1] = v
+
+    @property
+    def z(self):
+        if self.WIDTH < 3:
+            raise AttributeError("no z component")
+        return self.data[2]
+
+    @z.setter
+    def z(self, v):
+        if self.WIDTH < 3:
+            raise AttributeError("no z component")
+        self.data[2] = v
+
+    @property
+    def w(self):
+        if self.WIDTH < 4:
+            raise AttributeError("no w component")
+        return self.data[3]
+
+    @w.setter
+    def w(self, v):
+        if self.WIDTH < 4:
+            raise AttributeError("no w component")
+        self.data[3] = v
+
+    # -- arithmetic -------------------------------------------------------
+    def _coerce(self, other):
+        if isinstance(other, Vec):
+            if other.WIDTH != self.WIDTH:
+                raise InvalidParameterError(
+                    f"width mismatch: {self.WIDTH} vs {other.WIDTH}"
+                )
+            return other.data
+        return other
+
+    def _wrap(self, data):
+        out = type(self).__new__(type(self))
+        out.data = np.asarray(data, dtype=self.DTYPE)
+        return out
+
+    def __add__(self, other):
+        return self._wrap(self.data + self._coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._wrap(self.data - self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._wrap(self._coerce(other) - self.data)
+
+    def __mul__(self, other):
+        return self._wrap(self.data * self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._wrap(self.data / self._coerce(other))
+
+    def __rtruediv__(self, other):
+        return self._wrap(self._coerce(other) / self.data)
+
+    def __neg__(self):
+        return self._wrap(-self.data)
+
+    def __eq__(self, other):
+        if isinstance(other, Vec):
+            return self.WIDTH == other.WIDTH and bool(
+                np.array_equal(self.data, other.data)
+            )
+        return NotImplemented
+
+    def __hash__(self):  # value semantics for small vectors
+        return hash((type(self).__name__, self.data.tobytes()))
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{v:g}" for v in self.data)
+        return f"{type(self).__name__}({vals})"
+
+    # -- geometry helpers ---------------------------------------------------
+    def dot(self, other: "Vec") -> float:
+        return float(np.dot(self.data, self._coerce(other)))
+
+    def length(self) -> float:
+        return float(np.sqrt(np.dot(self.data, self.data)))
+
+    def normalized(self) -> "Vec":
+        n = self.length()
+        if n == 0.0:
+            return self._wrap(self.data.copy())
+        return self._wrap(self.data / n)
+
+
+def _make(name: str, width: int, dtype) -> type:
+    cls = type(name, (Vec,), {"WIDTH": width, "DTYPE": np.dtype(dtype)})
+    cls.__slots__ = ()
+    return cls
+
+
+float2 = _make("float2", 2, np.float32)
+float3 = _make("float3", 3, np.float32)
+float4 = _make("float4", 4, np.float32)
+float8 = _make("float8", 8, np.float32)
+float16 = _make("float16", 16, np.float32)
+int2 = _make("int2", 2, np.int32)
+int3 = _make("int3", 3, np.int32)
+int4 = _make("int4", 4, np.int32)
+double2 = _make("double2", 2, np.float64)
+double3 = _make("double3", 3, np.float64)
+double4 = _make("double4", 4, np.float64)
+
+
+def as_vec_array(n: int, vec_type: type) -> np.ndarray:
+    """Allocate bulk storage for ``n`` vectors of ``vec_type``.
+
+    Returns a ``(n, width)`` numpy array — the structure-of-vectors layout
+    the paper's FPGA datatype optimization produces (one fused wide word
+    per record instead of a heterogeneous struct).
+    """
+    if not (isinstance(vec_type, type) and issubclass(vec_type, Vec)):
+        raise InvalidParameterError(f"{vec_type!r} is not a Vec type")
+    return np.zeros((n, vec_type.WIDTH), dtype=vec_type.DTYPE)
+
+
+def vec_dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise dot product for ``(n, w)`` vector arrays."""
+    return np.einsum("...i,...i->...", a, b)
+
+
+def vec_length(a: np.ndarray) -> np.ndarray:
+    return np.sqrt(vec_dot(a, a))
+
+
+def vec_normalize(a: np.ndarray) -> np.ndarray:
+    n = vec_length(a)
+    n = np.where(n == 0, 1.0, n)
+    return a / n[..., None]
+
+
+def vec_cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.cross(a, b)

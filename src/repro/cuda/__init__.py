@@ -1,0 +1,23 @@
+"""Mini-CUDA runtime substrate (the original Altis host API)."""
+
+from . import curand
+from .api import (
+    CudaContext,
+    CudaEvent,
+    DevicePtr,
+    Dim3,
+    cudaMemcpyDeviceToDevice,
+    cudaMemcpyDeviceToHost,
+    cudaMemcpyHostToDevice,
+)
+
+__all__ = [
+    "curand",
+    "CudaContext",
+    "CudaEvent",
+    "DevicePtr",
+    "Dim3",
+    "cudaMemcpyHostToDevice",
+    "cudaMemcpyDeviceToHost",
+    "cudaMemcpyDeviceToDevice",
+]

@@ -1,0 +1,234 @@
+"""Mini-CUDA runtime API — the "original Altis" substrate.
+
+The Altis suite is written against the CUDA runtime; the paper's
+CUDA-vs-SYCL comparison is therefore a comparison of two host APIs and
+runtimes driving the *same* device kernels.  This module provides the
+CUDA-flavoured host surface (device memory, memcpy, events, streams,
+kernel launches, ``cudaDeviceSynchronize``) over the same functional
+executor, with modeled timing that mirrors the CUDA runtime's lower
+invocation overhead (paper Fig. 1: CUDA non-kernel time for FDTD2D size 1
+is 0.4 ms vs SYCL's 2.7 ms).
+
+CUDA's grid/block launch geometry maps onto the SYCL nd_range as::
+
+    nd_range(global=grid*block, local=block)
+
+with CUDA's x-fastest dimension order preserved via :class:`Dim3`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import CudaError
+from ..sycl.device import Device, device as get_device
+from ..sycl.event import CommandKind
+from ..sycl.executor import run_nd_range
+from ..sycl.kernel import KernelKind, KernelSpec
+from ..sycl.ndrange import NdRange, Range
+
+__all__ = [
+    "Dim3",
+    "DevicePtr",
+    "CudaContext",
+    "cudaMemcpyHostToDevice",
+    "cudaMemcpyDeviceToHost",
+    "cudaMemcpyDeviceToDevice",
+]
+
+cudaMemcpyHostToDevice = "h2d"
+cudaMemcpyDeviceToHost = "d2h"
+cudaMemcpyDeviceToDevice = "d2d"
+
+#: CUDA launch overhead on the host (much lower than oneAPI's; Fig. 1).
+_CUDA_LAUNCH_OVERHEAD_S = 4e-6
+_PCIE_BW = 12e9
+_PCIE_LATENCY_S = 8e-6
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA ``dim3`` — x is the fastest-varying dimension."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def size(self) -> int:
+        return self.x * self.y * self.z
+
+    def as_sycl_dims(self) -> tuple[int, ...]:
+        """SYCL ranges list the slowest dimension first (z, y, x)."""
+        return (self.z, self.y, self.x)
+
+
+class DevicePtr:
+    """A ``cudaMalloc`` allocation (numpy-backed)."""
+
+    def __init__(self, count: int, dtype):
+        self.data = np.zeros(count, dtype=dtype)
+        self.freed = False
+
+    def _check(self) -> None:
+        if self.freed:
+            raise CudaError("use-after-free of device allocation")
+
+    def array(self) -> np.ndarray:
+        self._check()
+        return self.data
+
+    def __getitem__(self, idx):
+        self._check()
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self._check()
+        self.data[idx] = value
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+
+class CudaEvent:
+    """``cudaEvent_t``: records the modeled device clock."""
+
+    def __init__(self) -> None:
+        self.time_ns: int | None = None
+
+    def recorded(self) -> bool:
+        return self.time_ns is not None
+
+
+class CudaContext:
+    """A CUDA 'device context': the host API plus a modeled clock.
+
+    Unlike the SYCL queue, timing here mimics the CUDA convention the
+    paper highlights (§3.3 "Time measurements"): ``cudaEventRecord`` is
+    asynchronous — without an intervening ``cudaDeviceSynchronize`` the
+    elapsed time between two events misses in-flight kernel work.  The
+    context keeps both a *submitted* clock and a *completed* clock to
+    reproduce the FDTD2D mis-measurement and its fix.
+    """
+
+    def __init__(self, dev: Device | str = "rtx2080", timing=None):
+        self.device = get_device(dev) if isinstance(dev, str) else dev
+        if not self.device.is_gpu():
+            raise CudaError(f"CUDA runs on GPUs; got {self.device.spec.key!r}")
+        self.timing = timing
+        #: host wall clock (includes API overheads), ns
+        self.host_now_ns = 0
+        #: device completion clock, ns — may run ahead of host_now_ns
+        self.device_done_ns = 0
+        self.kernel_time_ns = 0
+        self.non_kernel_time_ns = 0
+        self.launches = 0
+
+    # -- memory ------------------------------------------------------------
+    def malloc(self, count: int, dtype) -> DevicePtr:
+        if count <= 0:
+            raise CudaError("cudaMalloc of non-positive size")
+        self._host_cost(2e-6)
+        return DevicePtr(count, dtype)
+
+    def free(self, ptr: DevicePtr) -> None:
+        if ptr.freed:
+            raise CudaError("double cudaFree")
+        ptr.freed = True
+        self._host_cost(1e-6)
+
+    def memcpy(self, dst, src, nbytes: int, kind: str) -> None:
+        if kind not in (cudaMemcpyHostToDevice, cudaMemcpyDeviceToHost,
+                        cudaMemcpyDeviceToDevice):
+            raise CudaError(f"bad memcpy kind {kind!r}")
+        dst_arr = dst.array() if hasattr(dst, "array") else np.asarray(dst)
+        src_arr = src.array() if hasattr(src, "array") else np.asarray(src)
+        count = nbytes // dst_arr.dtype.itemsize
+        dst_arr.reshape(-1)[:count] = src_arr.reshape(-1)[:count].astype(
+            dst_arr.dtype, copy=False
+        )
+        dur = _PCIE_LATENCY_S + nbytes / _PCIE_BW
+        self._host_cost(dur, non_kernel=True)
+        self._sync_device()
+
+    # -- events / sync ------------------------------------------------------
+    def event_create(self) -> CudaEvent:
+        return CudaEvent()
+
+    def event_record(self, ev: CudaEvent) -> None:
+        """Asynchronous: stamps the *host* clock, not device completion.
+
+        This is what makes the original FDTD2D measurement inaccurate
+        until a ``cudaDeviceSynchronize`` is added (paper §3.3).
+        """
+        ev.time_ns = self.host_now_ns
+
+    def event_elapsed_ms(self, start: CudaEvent, end: CudaEvent) -> float:
+        if not (start.recorded() and end.recorded()):
+            raise CudaError("cudaEventElapsedTime on unrecorded event")
+        return (end.time_ns - start.time_ns) / 1e6
+
+    def device_synchronize(self) -> None:
+        """Block the host until all device work completes."""
+        self.host_now_ns = max(self.host_now_ns, self.device_done_ns)
+
+    # -- kernel launch -------------------------------------------------------
+    def launch(self, kernel: KernelSpec, grid: Dim3 | int, block: Dim3 | int,
+               *args, profile=None, force_item: bool = False) -> None:
+        """``kernel<<<grid, block>>>(args...)`` — asynchronous."""
+        if kernel.kind != KernelKind.ND_RANGE:
+            raise CudaError("CUDA kernels are SIMT (nd-range) kernels")
+        grid = Dim3(grid) if isinstance(grid, int) else grid
+        block = Dim3(block) if isinstance(block, int) else block
+        gdims = tuple(g * b for g, b in zip(grid.as_sycl_dims(), block.as_sycl_dims()))
+        # drop leading unit dims to the minimal dimensionality
+        nd = 3
+        while nd > 1 and gdims[3 - nd] == 1 and block.as_sycl_dims()[3 - nd] == 1:
+            nd -= 1
+        gdims = gdims[3 - nd:]
+        ldims = block.as_sycl_dims()[3 - nd:]
+        nd_range = NdRange(Range(gdims), Range(ldims))
+
+        run_nd_range(kernel, nd_range, args, force_item=force_item)
+        self.launches += 1
+
+        if self.timing is not None:
+            dur = self.timing.kernel_duration_s(kernel, nd_range, profile)
+        elif profile is not None:
+            from ..perfmodel.gpu import GpuModel
+
+            dur = GpuModel(self.device.spec).kernel_time_s(profile)
+        else:
+            spec = self.device.spec
+            dur = max(nd_range.total_items() * 16.0 / (spec.peak_flops() * 0.1), 1e-7)
+        # Launch is asynchronous: the host pays only the API overhead;
+        # the device finishes later.
+        self._host_cost(_CUDA_LAUNCH_OVERHEAD_S, non_kernel=True)
+        begin = max(self.host_now_ns, self.device_done_ns)
+        self.device_done_ns = begin + int(round(dur * 1e9))
+        self.kernel_time_ns += int(round(dur * 1e9))
+
+    # -- internals ------------------------------------------------------------
+    def _host_cost(self, seconds: float, non_kernel: bool = True) -> None:
+        ns = int(round(seconds * 1e9))
+        self.host_now_ns += ns
+        if non_kernel:
+            self.non_kernel_time_ns += ns
+
+    def _sync_device(self) -> None:
+        self.device_done_ns = max(self.device_done_ns, self.host_now_ns)
+
+    # -- reporting ---------------------------------------------------------------
+    def kernel_time_s(self) -> float:
+        return self.kernel_time_ns * 1e-9
+
+    def non_kernel_time_s(self) -> float:
+        return self.non_kernel_time_ns * 1e-9
+
+    def total_time_s(self) -> float:
+        return self.kernel_time_s() + self.non_kernel_time_s()

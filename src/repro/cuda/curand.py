@@ -1,0 +1,44 @@
+"""cuRAND-style host/device RNG surface over the common generators.
+
+Altis' Raytracing initializes one XORWOW state per pixel; DPCT migrates
+this to oneMKL's Philox4x32-10, changing the random stream (paper §3.3).
+This module exposes the cuRAND naming so the CUDA-flavoured apps read
+naturally, while :mod:`repro.common.rng` holds the actual generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.rng import Xorwow
+
+__all__ = ["curand_init", "curand_uniform", "StateArray"]
+
+
+class StateArray:
+    """``curandState_t states[n]`` — one generator per thread."""
+
+    def __init__(self, n: int):
+        self._states: list[Xorwow | None] = [None] * n
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def init(self, idx: int, seed: int, subsequence: int) -> None:
+        # cuRAND uses (seed, subsequence, offset); we fold the
+        # subsequence into the seed scramble, keeping streams distinct.
+        self._states[idx] = Xorwow((seed << 20) ^ subsequence)
+
+    def uniform(self, idx: int) -> float:
+        st = self._states[idx]
+        if st is None:
+            raise RuntimeError(f"curand state {idx} not initialized")
+        return st.uniform_float()
+
+
+def curand_init(states: StateArray, idx: int, seed: int, subsequence: int = 0) -> None:
+    states.init(idx, seed, subsequence)
+
+
+def curand_uniform(states: StateArray, idx: int) -> float:
+    return states.uniform(idx)

@@ -1,0 +1,25 @@
+"""DPC++ Compatibility Tool analogue: rule-based CUDA->SYCL migration
+over construct-level source models, reproducing the paper's §3.2
+migration experience."""
+
+from .migrator import CompilationDatabase, MigrationResult, Migrator, intercept_build
+from .report import SuiteMigrationReport, build_report
+from .rules import RULES, Diagnostic, FixKind, Rule, WarningCategory
+from .source_model import CONSTRUCT_KINDS, Construct, SourceModel
+
+__all__ = [
+    "CompilationDatabase",
+    "MigrationResult",
+    "Migrator",
+    "intercept_build",
+    "SuiteMigrationReport",
+    "build_report",
+    "RULES",
+    "Rule",
+    "Diagnostic",
+    "FixKind",
+    "WarningCategory",
+    "CONSTRUCT_KINDS",
+    "Construct",
+    "SourceModel",
+]

@@ -1,0 +1,32 @@
+"""FPGA synthesis model: resource estimation, fitting, timing closure,
+compute-unit replication helpers, and Table 3 reporting."""
+
+from .replication import NdRangeReplicator, submit_compute_units
+from .report import Table3Row, render_table3
+from .resources import (
+    DYNAMIC_ACCESSOR_BYTES,
+    M20K_BYTES,
+    Design,
+    KernelDesign,
+    LocalMemorySpec,
+    ResourceEstimate,
+    estimate,
+)
+from .synthesis import SynthesisResult, congestion_score, synthesize
+
+__all__ = [
+    "NdRangeReplicator",
+    "submit_compute_units",
+    "Table3Row",
+    "render_table3",
+    "Design",
+    "KernelDesign",
+    "LocalMemorySpec",
+    "ResourceEstimate",
+    "estimate",
+    "M20K_BYTES",
+    "DYNAMIC_ACCESSOR_BYTES",
+    "SynthesisResult",
+    "synthesize",
+    "congestion_score",
+]

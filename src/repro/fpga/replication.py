@@ -1,0 +1,102 @@
+"""Compute-unit replication helpers (paper §5.1).
+
+Two flavours, exactly as the paper describes:
+
+* :func:`submit_compute_units` — the ``SubmitComputeUnits`` helper from
+  Intel's oneAPI samples repository, which replicates **Single-Task**
+  kernels: it submits N copies, each receiving its unit id;
+* :class:`NdRangeReplicator` — the paper's *custom helper class* for
+  **ND-Range** kernels (the samples repo lacks one): it instantiates a
+  kernel a user-defined number of times and partitions the work-items
+  among the copies.
+
+Both operate on the functional runtime; the performance benefit of
+replication is modeled in :class:`repro.perfmodel.fpga.FpgaModel`, while
+its resource cost is charged by :mod:`repro.fpga.resources`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..common.errors import InvalidParameterError
+from ..sycl.kernel import KernelSpec
+from ..sycl.ndrange import NdRange, Range
+from ..sycl.queue import Queue
+
+__all__ = ["submit_compute_units", "NdRangeReplicator"]
+
+
+def submit_compute_units(queue: Queue, kernel: KernelSpec, n_units: int,
+                         *args, profile=None) -> list:
+    """Submit ``n_units`` copies of a single-task kernel.
+
+    The kernel's callable must accept the unit id as its first argument
+    (the oneAPI helper passes it as a template parameter; we pass it as
+    a runtime argument with identical effect in the functional model).
+    """
+    if not kernel.is_single_task:
+        raise InvalidParameterError(
+            "SubmitComputeUnits replicates Single-Task kernels; "
+            "use NdRangeReplicator for ND-Range kernels (paper §5.1)"
+        )
+    if n_units < 1:
+        raise InvalidParameterError("n_units must be >= 1")
+    events = []
+    for unit in range(n_units):
+        copy = replace(kernel, name=f"{kernel.name}_cu{unit}")
+        events.append(queue.single_task(copy, unit, n_units, *args, profile=profile))
+    return events
+
+
+class NdRangeReplicator:
+    """Custom ND-Range compute-unit replicator (paper §5.1).
+
+    Splits the **group dimension 0** of an nd_range across ``n_units``
+    kernel instances; each instance executes its contiguous slab of
+    work-groups.  Group counts that do not divide evenly are distributed
+    round-robin-first, so all units stay within one group of each other.
+    """
+
+    def __init__(self, n_units: int):
+        if n_units < 1:
+            raise InvalidParameterError("n_units must be >= 1")
+        self.n_units = n_units
+
+    def partition(self, nd_range: NdRange) -> list[tuple[int, NdRange]]:
+        """Return (group_offset, sub_nd_range) per unit; empty units omitted."""
+        groups0 = nd_range.group_range()[0]
+        local = tuple(nd_range.local_range)
+        parts: list[tuple[int, NdRange]] = []
+        base, extra = divmod(groups0, self.n_units)
+        offset = 0
+        for unit in range(self.n_units):
+            n = base + (1 if unit < extra else 0)
+            if n == 0:
+                continue
+            gdims = (n * local[0],) + tuple(nd_range.global_range)[1:]
+            parts.append((offset, NdRange(Range(gdims), Range(local))))
+            offset += n
+        return parts
+
+    def submit(self, queue: Queue, kernel: KernelSpec, nd_range: NdRange,
+               *args, profile=None, force_item: bool = False) -> list:
+        """Launch the kernel once per unit over its slab.
+
+        The kernel's callable must accept ``group_offset`` (in groups
+        along dim 0) as its first argument so each copy indexes its slab
+        of the global problem.
+        """
+        if kernel.is_single_task:
+            raise InvalidParameterError(
+                "NdRangeReplicator replicates ND-Range kernels; "
+                "use submit_compute_units for Single-Task kernels"
+            )
+        events = []
+        for unit, (offset, sub_range) in enumerate(self.partition(nd_range)):
+            copy = replace(kernel, name=f"{kernel.name}_cu{unit}")
+            events.append(
+                queue.parallel_for(sub_range, copy, offset, *args,
+                                   profile=profile, force_item=force_item)
+            )
+        return events

@@ -1,0 +1,50 @@
+"""Table 3 generator: per-app resource utilization and Fmax on both FPGAs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perfmodel.spec import get_spec
+from .synthesis import SynthesisResult
+
+__all__ = ["Table3Row", "render_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    app: str
+    implementation: str  # "ND-Range" | "Single-Task" | "ND-Range & Single-Task"
+    stratix10: SynthesisResult
+    agilex: SynthesisResult
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    s10 = get_spec("stratix10").fpga_resources
+    agx = get_spec("agilex").fpga_resources
+    head = (
+        f"{'Application':<22}"
+        f"{'ALM S10':>9}{'ALM Agx':>9}"
+        f"{'BRAM S10':>10}{'BRAM Agx':>10}"
+        f"{'DSP S10':>9}{'DSP Agx':>9}"
+        f"{'MHz S10':>9}{'MHz Agx':>9}"
+        f"  Implementation"
+    )
+    lines = [
+        "Table 3: Resource utilization (%) and frequency (MHz)",
+        f"Stratix 10 totals: ALM {s10.alms:,} BRAM {s10.brams:,} DSP {s10.dsps_user:,}",
+        f"Agilex totals:     ALM {agx.alms:,} BRAM {agx.brams:,} DSP {agx.dsps_user:,}",
+        head,
+        "-" * len(head),
+    ]
+    for r in rows:
+        u_s = r.stratix10.utilization_percent()
+        u_a = r.agilex.utilization_percent()
+        lines.append(
+            f"{r.app:<22}"
+            f"{u_s['alm']:>8.1f}%{u_a['alm']:>8.1f}%"
+            f"{u_s['bram']:>9.1f}%{u_a['bram']:>9.1f}%"
+            f"{u_s['dsp']:>8.1f}%{u_a['dsp']:>8.1f}%"
+            f"{r.stratix10.fmax_mhz:>9.1f}{r.agilex.fmax_mhz:>9.1f}"
+            f"  {r.implementation}"
+        )
+    return "\n".join(lines)

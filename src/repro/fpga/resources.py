@@ -1,0 +1,241 @@
+"""FPGA resource estimation (ALMs, BRAMs, DSPs) for SYCL kernel designs.
+
+The estimator plays the role of Quartus' fitter report: given a set of
+kernels with their optimization knobs (unroll, SIMD vectorization,
+compute-unit replication, local-memory layout), it predicts the
+utilization that Table 3 of the paper reports.
+
+Cost model (mechanistic, per §4/§5 of the paper):
+
+* every design pays a **board interface** overhead (BSP: PCIe + DDR
+  controllers);
+* each kernel copy pays a base control/LSU cost plus a datapath cost
+  proportional to its arithmetic body; unrolling and SIMD replicate the
+  datapath *approximately linearly* (§5.2 "resource utilization scales
+  approximately linearly with V");
+* each FMA in the datapath consumes one DSP (four for FP64);
+* local memories consume M20K blocks (2,560 bytes each); **dynamically
+  sized** accessors are provisioned at 16 KiB (§4); banking for unrolled
+  access multiplies block count;
+* passing an accessor *object* as a kernel argument synthesizes its
+  member functions: ~1% extra RAM/DSP per accessor (§4 gives the
+  up-to-1% figure), which is what made the 11-accessor SRAD design
+  exceed the Stratix 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import InvalidParameterError
+from ..perfmodel.spec import DeviceSpec
+from ..sycl.kernel import KernelSpec
+
+__all__ = ["LocalMemorySpec", "KernelDesign", "Design", "ResourceEstimate", "estimate"]
+
+M20K_BYTES = 2_560
+DYNAMIC_ACCESSOR_BYTES = 16 * 1024
+
+# Board-interface (BSP) overhead
+_INTERFACE_ALMS = 95_000
+_INTERFACE_BRAMS = 320
+_INTERFACE_DSPS = 0
+
+# Per-kernel-copy base costs (control logic, LSUs, dispatch)
+_KERNEL_BASE_ALMS = 5_500
+_KERNEL_BASE_BRAMS = 12
+_ALM_PER_OP = 110          # datapath ALMs per scalar arithmetic op
+_ALM_PER_LSU = 1_200       # per global load/store site
+_BRAM_PER_LSU = 6          # burst buffers per global access site
+# §4: an accessor object synthesizes its member functions and forces a
+# worst-case (dynamically-sized, privately-banked) memory system; eleven
+# of them overflowed the Stratix 10 on SRAD
+_ACCESSOR_OBJ_BRAM_FRAC = 0.095
+_ACCESSOR_OBJ_DSP_FRAC = 0.01
+_PIPE_ALMS = 900
+_BARRIER_ALMS = 4_000
+
+
+@dataclass(frozen=True)
+class LocalMemorySpec:
+    """One shared-memory array of a kernel."""
+
+    bytes: int
+    static: bool = True      # False => DPCT-style dynamically sized accessor
+    ports: int = 1           # concurrent access sites (drives banking/arbiters)
+    bankable: bool = True    # False => arbiters instead of banks (§5.2 case 3)
+
+    @property
+    def provisioned_bytes(self) -> int:
+        return self.bytes if self.static else max(self.bytes, DYNAMIC_ACCESSOR_BYTES)
+
+
+@dataclass
+class KernelDesign:
+    """One kernel plus its FPGA optimization knobs.
+
+    ``body_fmas``/``body_ops``/``global_access_sites``/``local_memories``
+    default from ``kernel.features`` so applications declare their
+    characteristics once, on the :class:`KernelSpec`.
+    """
+
+    kernel: KernelSpec
+    replication: int = 1
+    #: datapath width from unrolling: product of loop unroll factors
+    #: that replicate the arithmetic body
+    unroll: int = 1
+    local_memories: list[LocalMemorySpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.replication < 1 or self.unroll < 1:
+            raise InvalidParameterError("replication/unroll must be >= 1")
+        if not self.local_memories:
+            mems = self.kernel.feature("local_memories", [])
+            self.local_memories = [
+                m if isinstance(m, LocalMemorySpec) else LocalMemorySpec(**m)
+                for m in mems
+            ]
+
+    @property
+    def simd(self) -> int:
+        return self.kernel.attributes.num_simd_work_items
+
+    @property
+    def body_fmas(self) -> float:
+        return float(self.kernel.feature("body_fmas", 4))
+
+    @property
+    def body_ops(self) -> float:
+        return float(self.kernel.feature("body_ops", 8))
+
+    @property
+    def global_access_sites(self) -> int:
+        return int(self.kernel.feature("global_access_sites", 2))
+
+    @property
+    def accessor_object_args(self) -> int:
+        return int(self.kernel.feature("accessor_object_args", 0))
+
+    @property
+    def uses_pipes(self) -> bool:
+        return bool(self.kernel.feature("uses_pipes", False))
+
+    @property
+    def fp64(self) -> bool:
+        return bool(self.kernel.feature("fp64", False))
+
+    @property
+    def datapath_width(self) -> int:
+        """Copies of the arithmetic body per kernel copy."""
+        return self.unroll * self.simd
+
+
+@dataclass
+class Design:
+    """A full FPGA image: the kernels synthesized into one bitstream.
+
+    The paper (§4 "Multiple kernel versions") selects only the kernels
+    required for the intended use — a :class:`Design` is that selection.
+    """
+
+    name: str
+    kernels: list[KernelDesign] = field(default_factory=list)
+    #: DPCT helper headers included? (synthesizes their memcpy, §4)
+    dpct_headers: bool = False
+
+    def add(self, kd: KernelDesign) -> "Design":
+        self.kernels.append(kd)
+        return self
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """The fitter's answer: absolute counts and utilization fractions."""
+
+    alms: int
+    brams: int
+    dsps: int
+    alm_frac: float
+    bram_frac: float
+    dsp_frac: float
+
+    def fits(self) -> bool:
+        return self.alm_frac <= 1.0 and self.bram_frac <= 1.0 and self.dsp_frac <= 1.0
+
+    def max_frac(self) -> float:
+        return max(self.alm_frac, self.bram_frac, self.dsp_frac)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "alm": self.alm_frac,
+            "bram": self.bram_frac,
+            "dsp": self.dsp_frac,
+        }
+
+
+def _kernel_resources(kd: KernelDesign) -> tuple[float, float, float]:
+    """(ALMs, BRAMs, DSPs) for all copies of one kernel."""
+    width = kd.datapath_width
+    dsp_per_fma = 4.0 if kd.fp64 else 1.0
+    alm_per_op = _ALM_PER_OP * (2.5 if kd.fp64 else 1.0)
+
+    alms = _KERNEL_BASE_ALMS
+    alms += kd.body_ops * width * alm_per_op
+    alms += kd.global_access_sites * _ALM_PER_LSU
+    if kd.kernel.uses_barrier:
+        alms += _BARRIER_ALMS
+    if kd.uses_pipes:
+        alms += _PIPE_ALMS * max(2, kd.global_access_sites)
+
+    dsps = kd.body_fmas * width * dsp_per_fma
+
+    brams = _KERNEL_BASE_BRAMS + kd.global_access_sites * _BRAM_PER_LSU
+    for mem in kd.local_memories:
+        blocks = -(-mem.provisioned_bytes // M20K_BYTES)
+        if mem.bankable:
+            # banking/replication to serve all ports at full unroll
+            blocks *= max(1, min(mem.ports * width, 32))
+        else:
+            # arbitered: blocks do not replicate, arbiters cost ALMs
+            alms += 3_000 * mem.ports
+        brams += blocks
+
+    return alms * kd.replication, brams * kd.replication, dsps * kd.replication
+
+
+def estimate(design: Design, spec: DeviceSpec) -> ResourceEstimate:
+    """Estimate one design's utilization on one FPGA device."""
+    if spec.fpga_resources is None:
+        raise InvalidParameterError(f"{spec.key!r} is not an FPGA")
+    budget = spec.fpga_resources
+
+    alms: float = _INTERFACE_ALMS
+    brams: float = _INTERFACE_BRAMS
+    dsps: float = _INTERFACE_DSPS
+    if design.dpct_headers:
+        # §4: the helper memcpy synthesizes into every design: ~1% RAM/DSP
+        brams += 0.01 * budget.brams
+        dsps += 0.01 * budget.dsps_user
+
+    for kd in design.kernels:
+        a, b, d = _kernel_resources(kd)
+        alms += a
+        brams += b
+        dsps += d
+        # §4: each accessor passed as an *object* kernel argument
+        # synthesizes accessor member functions: ~1% of device RAM/DSP
+        # apiece (eleven of these pushed SRAD past the Stratix 10)
+        n_obj = kd.accessor_object_args * kd.replication
+        brams += n_obj * _ACCESSOR_OBJ_BRAM_FRAC * budget.brams
+        dsps += n_obj * _ACCESSOR_OBJ_DSP_FRAC * budget.dsps_user
+        alms += n_obj * 0.008 * budget.alms
+
+    alms /= spec.alm_density
+    return ResourceEstimate(
+        alms=int(alms),
+        brams=int(brams),
+        dsps=int(dsps),
+        alm_frac=alms / budget.alms,
+        bram_frac=brams / budget.brams,
+        dsp_frac=dsps / budget.dsps_user,
+    )

@@ -1,0 +1,54 @@
+"""Experiment harness: regenerates every table and figure of the paper
+and runs the functional verification sweep."""
+
+from .experiments import (
+    PAPER_FIG1,
+    PAPER_FIG2_BASELINE,
+    PAPER_FIG2_OPTIMIZED,
+    PAPER_FIG4,
+    PAPER_FIG5,
+    PAPER_FIG5_GEOMEANS,
+    PAPER_TABLE3,
+    figure1,
+    figure2,
+    figure4,
+    figure5,
+    figure5_geomeans,
+    migration_report,
+    table2,
+    table3,
+)
+from .reporting import (
+    compare_ratio,
+    render_figure1,
+    render_figure5,
+    render_speedup_grid,
+    render_table2,
+)
+from .runner import RunResult, run_functional, run_suite_functional
+
+__all__ = [
+    "PAPER_FIG1",
+    "PAPER_FIG2_BASELINE",
+    "PAPER_FIG2_OPTIMIZED",
+    "PAPER_FIG4",
+    "PAPER_FIG5",
+    "PAPER_FIG5_GEOMEANS",
+    "PAPER_TABLE3",
+    "figure1",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure5_geomeans",
+    "migration_report",
+    "table2",
+    "table3",
+    "compare_ratio",
+    "render_figure1",
+    "render_figure5",
+    "render_speedup_grid",
+    "render_table2",
+    "RunResult",
+    "run_functional",
+    "run_suite_functional",
+]

@@ -1,0 +1,185 @@
+"""Command-line driver, mirroring the Altis harness interface.
+
+Altis binaries accept ``--size``, ``--passes``, ``--device``, ``--quiet``
+and report through a ResultDB; this module gives the reproduction the
+same surface::
+
+    python -m repro run KMeans --size 1 --device rtx2080 --passes 3
+    python -m repro list
+    python -m repro figures fig2 fig4
+    python -m repro migrate
+    python -m repro synth KMeans --device stratix10
+
+Each subcommand returns an exit status and prints human-readable text;
+the CLI is a thin layer over :mod:`repro.harness`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..altis import SIZES, Variant
+from ..altis.registry import APP_FACTORIES, make_app
+from ..perfmodel.spec import DEVICE_SPECS, get_spec
+from .resultdb import ResultDB
+
+__all__ = ["main", "build_parser", "run_benchmark"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Altis-SYCL reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark functionally")
+    run.add_argument("benchmark", choices=sorted(APP_FACTORIES))
+    run.add_argument("--size", type=int, default=1, choices=SIZES)
+    run.add_argument("--device", default="rtx2080",
+                     choices=sorted(DEVICE_SPECS))
+    run.add_argument("--passes", type=int, default=1)
+    run.add_argument("--scale", type=float, default=None,
+                     help="functional problem scale (default: test scale)")
+    run.add_argument("--variant", default="sycl_opt",
+                     choices=[v.value for v in Variant])
+    run.add_argument("--quiet", action="store_true")
+
+    sub.add_parser("list", help="list benchmarks and devices")
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("which", nargs="+",
+                         choices=["fig1", "fig2", "fig4", "fig5", "table2",
+                                  "table3"])
+
+    sub.add_parser("migrate", help="print the §3.2 migration report")
+
+    synth = sub.add_parser("synth", help="synthesize an FPGA design")
+    synth.add_argument("benchmark", choices=sorted(APP_FACTORIES))
+    synth.add_argument("--device", default="stratix10",
+                       choices=["stratix10", "agilex"])
+    synth.add_argument("--size", type=int, default=3, choices=SIZES)
+    synth.add_argument("--baseline", action="store_true",
+                       help="build the non-optimized design")
+    return parser
+
+
+def run_benchmark(config: str, size: int, device_key: str, passes: int,
+                  variant: Variant, scale: float | None,
+                  db: ResultDB) -> None:
+    """Execute one benchmark ``passes`` times into a ResultDB."""
+    from .runner import _DEFAULT_SCALES, run_functional
+
+    scale = scale if scale is not None else _DEFAULT_SCALES.get(config, 0.02)
+    for pass_idx in range(passes):
+        result = run_functional(config, device_key, variant, scale=scale,
+                                seed=pass_idx)
+        db.add_result(config, "kernel_time", "s", result.modeled_kernel_s)
+        db.add_result(config, "total_time", "s", result.modeled_total_s)
+    # the analytical layer's full-size estimate, once
+    app = make_app(config)
+    if variant in (Variant.FPGA_BASE, Variant.FPGA_OPT):
+        if get_spec(device_key).is_fpga:
+            t = app.fpga_time(size, variant is Variant.FPGA_OPT, device_key)
+            db.add_result(config, f"modeled_size{size}", "s", t.total_s)
+    else:
+        t = app.reported_time_s(size, variant, device_key)
+        db.add_result(config, f"modeled_size{size}", "s", t)
+
+
+def _cmd_run(args) -> int:
+    db = ResultDB()
+    run_benchmark(args.benchmark, args.size, args.device, args.passes,
+                  Variant(args.variant), args.scale, db)
+    if not args.quiet:
+        print(db.render())
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("benchmarks:")
+    for name in sorted(APP_FACTORIES):
+        print(f"  {name}")
+    print("devices:")
+    for key, spec in DEVICE_SPECS.items():
+        print(f"  {key:<10} {spec.name}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from . import experiments, reporting
+
+    for which in args.which:
+        if which == "fig1":
+            print(reporting.render_figure1(experiments.figure1(),
+                                           experiments.PAPER_FIG1))
+        elif which == "fig2":
+            print(reporting.render_speedup_grid(
+                "Figure 2 (optimized SYCL vs CUDA, RTX 2080)",
+                experiments.figure2(True), experiments.PAPER_FIG2_OPTIMIZED))
+        elif which == "fig4":
+            print(reporting.render_speedup_grid(
+                "Figure 4 (FPGA optimized vs baseline, Stratix 10)",
+                experiments.figure4(), experiments.PAPER_FIG4))
+        elif which == "fig5":
+            fig5 = experiments.figure5()
+            print(reporting.render_figure5(
+                fig5, experiments.PAPER_FIG5,
+                experiments.figure5_geomeans(fig5),
+                experiments.PAPER_FIG5_GEOMEANS))
+        elif which == "table2":
+            print(reporting.render_table2(experiments.table2()))
+        elif which == "table3":
+            from ..fpga import render_table3
+
+            print(render_table3(experiments.table3()))
+        print()
+    return 0
+
+
+def _cmd_migrate(_args) -> int:
+    from .experiments import migration_report
+
+    print(migration_report().render())
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from ..common.errors import ReproError
+    from ..fpga.synthesis import synthesize
+
+    app = make_app(args.benchmark)
+    try:
+        setup = app.fpga_setup(args.size, not args.baseline, args.device)
+        syn = synthesize(setup.design, get_spec(args.device))
+    except ReproError as exc:
+        print(f"synthesis failed: {exc}")
+        return 1
+    util = syn.utilization_percent()
+    print(f"design   : {syn.design_name}")
+    print(f"device   : {syn.device_key}")
+    print(f"ALM      : {util['alm']:.1f}%")
+    print(f"BRAM     : {util['bram']:.1f}%")
+    print(f"DSP      : {util['dsp']:.1f}%")
+    print(f"Fmax     : {syn.fmax_mhz:.1f} MHz")
+    print(f"kernels  : {len(setup.design.kernels)}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "list": _cmd_list,
+    "figures": _cmd_figures,
+    "migrate": _cmd_migrate,
+    "synth": _cmd_synth,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

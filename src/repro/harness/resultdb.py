@@ -1,0 +1,132 @@
+"""ResultDB — Altis' result-collection facility, reproduced.
+
+The original Altis harness runs each benchmark for ``--passes`` passes
+and aggregates every reported metric (kernel time, transfer time,
+bandwidth...) into a result database that prints min/max/median/mean/
+stddev per metric, with units.  Both the CLI driver and the experiment
+benches record through this class, so multi-pass runs and report
+formatting behave like the original suite's output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from ..common.errors import InvalidParameterError
+
+__all__ = ["Result", "ResultDB"]
+
+
+@dataclass
+class Result:
+    """All passes of one (benchmark, metric, attributes) combination."""
+
+    test: str
+    attribute: str
+    unit: str
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise InvalidParameterError(
+                f"{self.test}/{self.attribute}: non-finite result {value!r}")
+        self.values.append(float(value))
+
+    # -- statistics (Altis prints these columns) -------------------------
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def median(self) -> float:
+        s = sorted(self.values)
+        n = len(s)
+        mid = n // 2
+        return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+    @property
+    def stddev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values)
+                         / (len(self.values) - 1))
+
+
+class ResultDB:
+    """Accumulates results across passes and renders the Altis report."""
+
+    def __init__(self) -> None:
+        self._results: dict[tuple[str, str], Result] = {}
+
+    def add_result(self, test: str, attribute: str, unit: str,
+                   value: float) -> None:
+        key = (test, attribute)
+        if key not in self._results:
+            self._results[key] = Result(test=test, attribute=attribute,
+                                        unit=unit)
+        result = self._results[key]
+        if result.unit != unit:
+            raise InvalidParameterError(
+                f"{test}/{attribute}: unit changed from {result.unit!r} "
+                f"to {unit!r}")
+        result.add(value)
+
+    def results(self) -> list[Result]:
+        return list(self._results.values())
+
+    def get(self, test: str, attribute: str) -> Result:
+        try:
+            return self._results[(test, attribute)]
+        except KeyError:
+            raise KeyError(f"no result for {test!r}/{attribute!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- reporting --------------------------------------------------------
+    def render(self) -> str:
+        header = (f"{'test':<22}{'attribute':<22}{'unit':<10}{'passes':>7}"
+                  f"{'min':>12}{'median':>12}{'mean':>12}{'max':>12}"
+                  f"{'stddev':>12}")
+        lines = [header, "-" * len(header)]
+        for r in sorted(self._results.values(),
+                        key=lambda r: (r.test, r.attribute)):
+            lines.append(
+                f"{r.test:<22}{r.attribute:<22}{r.unit:<10}{r.count:>7}"
+                f"{r.min:>12.5g}{r.median:>12.5g}{r.mean:>12.5g}"
+                f"{r.max:>12.5g}{r.stddev:>12.5g}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = [
+            {"test": r.test, "attribute": r.attribute, "unit": r.unit,
+             "values": r.values, "mean": r.mean, "median": r.median,
+             "stddev": r.stddev}
+            for r in sorted(self._results.values(),
+                            key=lambda r: (r.test, r.attribute))
+        ]
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultDB":
+        db = cls()
+        for entry in json.loads(text):
+            for value in entry["values"]:
+                db.add_result(entry["test"], entry["attribute"],
+                              entry["unit"], value)
+        return db

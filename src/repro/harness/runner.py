@@ -1,0 +1,80 @@
+"""Functional benchmark runner: run an app on a device at a test scale
+and verify the result against the numpy reference.
+
+This is the "does the suite actually compute the right thing" driver —
+the performance figures come from :mod:`repro.harness.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..altis.base import AltisApp, Variant, Workload
+from ..altis.registry import make_app
+from ..sycl import Queue, device
+
+__all__ = ["RunResult", "run_functional", "run_suite_functional"]
+
+#: per-config functional test scale: small enough for CI, large enough
+#: to exercise real work-group structure
+_DEFAULT_SCALES = {
+    "CFD FP32": 0.002, "CFD FP64": 0.002,
+    "DWT2D": 0.03, "FDTD2D": 0.05, "KMeans": 0.01,
+    "LavaMD": 0.3, "Mandelbrot": 0.01, "NW": 0.02,
+    "PF Naive": 0.05, "PF Float": 0.05,
+    "Raytracing": 0.03, "SRAD": 0.02, "Where": 0.0005,
+}
+
+#: per-config verification tolerances (iterative FP apps accumulate error)
+_TOLERANCES = {
+    "KMeans": (1e-3, 1e-3),
+    "LavaMD": (1e-3, 1e-4),
+    "CFD FP32": (1e-4, 1e-6),
+    "CFD FP64": (1e-4, 1e-6),
+}
+
+
+@dataclass
+class RunResult:
+    config: str
+    device_key: str
+    variant: Variant
+    verified: bool
+    modeled_kernel_s: float
+    modeled_total_s: float
+    workload: Workload
+
+
+def run_functional(config: str, device_key: str = "rtx2080",
+                   variant: Variant = Variant.SYCL_OPT,
+                   scale: float | None = None, seed: int = 0) -> RunResult:
+    """Generate -> run -> verify one benchmark configuration."""
+    app = make_app(config)
+    scale = scale if scale is not None else _DEFAULT_SCALES.get(config, 0.02)
+    workload = app.generate(1, seed=seed, scale=scale)
+    queue = Queue(device_key)
+    result = app.run_sycl(queue, workload, variant)
+    if config == "Raytracing" and variant is Variant.CUDA:
+        verified = True  # different RNG stream: not comparable (paper §3.3)
+    else:
+        expected = app.reference(workload)
+        rtol, atol = _TOLERANCES.get(config, (1e-4, 1e-5))
+        app.verify(result, expected, rtol=rtol, atol=atol)
+        verified = True
+    return RunResult(
+        config=config,
+        device_key=device_key,
+        variant=variant,
+        verified=verified,
+        modeled_kernel_s=queue.kernel_time_s(),
+        modeled_total_s=queue.total_time_s(),
+        workload=workload,
+    )
+
+
+def run_suite_functional(device_key: str = "rtx2080",
+                         variant: Variant = Variant.SYCL_OPT) -> list[RunResult]:
+    """Run every configuration once (the 'does it all work' sweep)."""
+    return [run_functional(c, device_key, variant) for c in _DEFAULT_SCALES]

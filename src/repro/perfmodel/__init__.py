@@ -1,0 +1,45 @@
+"""Analytical performance models: device specs (Table 2), kernel work
+profiles, GPU/CPU roofline models, the FPGA pipeline model, runtime
+overheads, and implementation-variant traits."""
+
+from .fpga import FpgaKernelTiming, FpgaModel
+from .gpu import CpuModel, GpuModel
+from .overhead import RuntimeKind, RuntimeOverheads, overheads_for
+from .profile import KernelProfile, LaunchPlan
+from .spec import (
+    DEVICE_SPECS,
+    DeviceKind,
+    DeviceSpec,
+    FpgaResources,
+    fpga_peak_fp32_tflops,
+    get_spec,
+    list_specs,
+)
+from .timeline import RunDecomposition, model_for, time_launch_plan
+from .traits import TRAITS, ImplVariant, Trait, combine
+
+__all__ = [
+    "FpgaKernelTiming",
+    "FpgaModel",
+    "CpuModel",
+    "GpuModel",
+    "RuntimeKind",
+    "RuntimeOverheads",
+    "overheads_for",
+    "KernelProfile",
+    "LaunchPlan",
+    "DEVICE_SPECS",
+    "DeviceKind",
+    "DeviceSpec",
+    "FpgaResources",
+    "fpga_peak_fp32_tflops",
+    "get_spec",
+    "list_specs",
+    "RunDecomposition",
+    "model_for",
+    "time_launch_plan",
+    "TRAITS",
+    "ImplVariant",
+    "Trait",
+    "combine",
+]

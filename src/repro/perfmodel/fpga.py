@@ -1,0 +1,185 @@
+"""FPGA kernel-time model: spatial pipelines fed from DDR.
+
+An FPGA kernel is a pipeline clocked at the synthesized Fmax.  The model
+computes the cycles each launch occupies and floors the result with the
+memory-bandwidth roofline (the paper's recurring finding: Stratix 10
+designs become bandwidth-bound at input size 3, §5.4):
+
+**ND-Range kernels** — work-items stream through the pipeline; with
+SIMD vectorization V and compute-unit replication R, throughput is
+``V x R`` items per cycle (when bandwidth allows)::
+
+    cycles = items * iters_per_item / (V * R) + pipeline_fill
+
+**Single-Task kernels** — loops are pipelined at their initiation
+interval; speculated iterations are overhead per *exit* of the loop
+(the Mandelbrot example: 4 speculated iterations on an 8192-iteration
+inner loop waste up to 8192 x 4 cycles of the outer loop, §5.3)::
+
+    cycles = sum over loops: trips/unroll * II + exits * speculated
+
+Shared-memory stalls: non-bankable local memory (§5.2 case 3, NW)
+multiplies cycles by an arbitration stall factor; pipes remove the
+global-memory round trips between producer/consumer kernels (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import CalibrationError
+from ..fpga.synthesis import SynthesisResult
+from ..sycl.kernel import KernelSpec, LoopSpec
+from .profile import KernelProfile
+from .spec import DeviceSpec
+
+__all__ = ["FpgaKernelTiming", "FpgaModel"]
+
+_PIPELINE_FILL_CYCLES = 300.0
+#: arbitration stall multiplier per extra contended port
+_ARBITER_STALL = 1.9
+#: fraction of DDR bandwidth a well-formed LSU burst achieves
+_FPGA_MEM_EFF = 0.82
+
+
+@dataclass(frozen=True)
+class FpgaKernelTiming:
+    """Decomposed timing of one kernel launch on the FPGA."""
+
+    cycles: float
+    fmax_mhz: float
+    pipeline_s: float
+    memory_s: float
+
+    @property
+    def time_s(self) -> float:
+        return max(self.pipeline_s, self.memory_s)
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_s > self.pipeline_s else "pipeline"
+
+
+class FpgaModel:
+    """Times kernels against one synthesized design."""
+
+    def __init__(self, spec: DeviceSpec, synthesis: SynthesisResult | None = None,
+                 *, replication: int = 1):
+        if spec.fpga_resources is None:
+            raise CalibrationError(f"{spec.key!r} is not an FPGA device")
+        self.spec = spec
+        self.synthesis = synthesis
+        self.replication = replication
+
+    @property
+    def fmax_hz(self) -> float:
+        mhz = self.synthesis.fmax_mhz if self.synthesis else self.spec.fmax_typical_mhz
+        return mhz * 1e6
+
+    # -- helpers -----------------------------------------------------------
+    def _stall_factor(self, kernel: KernelSpec) -> float:
+        """Shared-memory arbitration stalls (§5.2 case 3)."""
+        factor = 1.0
+        for mem in kernel.feature("local_memories", []):
+            bankable = mem.get("bankable", True) if isinstance(mem, dict) else mem.bankable
+            ports = mem.get("ports", 1) if isinstance(mem, dict) else mem.ports
+            if not bankable and ports > 1:
+                factor *= 1.0 + (_ARBITER_STALL - 1.0) * min(ports - 1, 4) / 4.0
+        return factor
+
+    def _memory_time(self, profile: KernelProfile) -> float:
+        return profile.global_bytes / (self.spec.mem_bw * _FPGA_MEM_EFF)
+
+    # -- ND-range ------------------------------------------------------------
+    def nd_range_time_s(self, kernel: KernelSpec, profile: KernelProfile) -> FpgaKernelTiming:
+        simd = kernel.attributes.num_simd_work_items
+        throughput = simd * self.replication
+        items = profile.work_items * max(profile.iters_per_item, 1.0)
+        cycles = items / throughput + _PIPELINE_FILL_CYCLES
+        cycles *= self._stall_factor(kernel)
+        if kernel.feature("variable_trip_loop", False):
+            # a data-dependent inner loop inside an ND-range item cannot
+            # pipeline across items: the exit condition serializes (II~2)
+            # and divergent trip counts leave bubbles (§5.3 motivates the
+            # single-task rewrite precisely for such kernels)
+            cycles *= 2.0 * (1.0 + profile.branch_divergence)
+        if kernel.uses_barrier:
+            # groups drain the pipeline at each barrier phase
+            wg = kernel.attributes.reqd_work_group_size
+            wg_size = 1
+            for d in wg or (64,):
+                wg_size *= d
+            n_groups = max(1.0, profile.work_items / wg_size)
+            cycles += n_groups * _PIPELINE_FILL_CYCLES / self.replication
+        pipeline_s = cycles / self.fmax_hz
+        return FpgaKernelTiming(
+            cycles=cycles,
+            fmax_mhz=self.fmax_hz / 1e6,
+            pipeline_s=pipeline_s,
+            memory_s=self._memory_time(profile),
+        )
+
+    # -- single-task ------------------------------------------------------------
+    def single_task_time_s(self, kernel: KernelSpec, profile: KernelProfile,
+                           loops: list[LoopSpec] | None = None) -> FpgaKernelTiming:
+        loops = loops if loops is not None else kernel.loops
+        if not loops:
+            # treat the profile's items*iters as one flat II=1 loop
+            cycles = profile.work_items * max(profile.iters_per_item, 1.0) / self.replication
+            cycles += _PIPELINE_FILL_CYCLES
+        else:
+            by_name = {lp.name: lp for lp in loops}
+
+            def exits_of(lp: LoopSpec) -> float:
+                """Times this loop is *entered*: the product of effective
+                trip counts of every ancestor loop."""
+                total = 1.0
+                cur = lp
+                seen = set()
+                while cur.nested_in is not None and cur.nested_in not in seen:
+                    seen.add(cur.nested_in)
+                    outer = by_name.get(cur.nested_in)
+                    if outer is None:
+                        break
+                    total *= float(outer.trip_count) / max(1, outer.unroll)
+                    cur = outer
+                return total
+
+            cycles = _PIPELINE_FILL_CYCLES
+            for lp in loops:
+                exits = exits_of(lp)
+                eff_trips = float(lp.trip_count) / max(1, lp.unroll)
+                # pipelined body at its initiation interval, plus the
+                # speculation overhead paid once per loop exit (§5.3)
+                cycles += exits * (eff_trips * lp.initiation_interval
+                                   + lp.speculated_iterations)
+            cycles /= self.replication
+        cycles *= self._stall_factor(kernel)
+        pipeline_s = cycles / self.fmax_hz
+        return FpgaKernelTiming(
+            cycles=cycles,
+            fmax_mhz=self.fmax_hz / 1e6,
+            pipeline_s=pipeline_s,
+            memory_s=self._memory_time(profile),
+        )
+
+    def nd_range_time_s_from_profile(self, profile: KernelProfile) -> float:
+        """Time a launch without kernel structure: flat ND-range pipeline
+        at SIMD=1 with this model's replication."""
+        items = profile.work_items * max(profile.iters_per_item, 1.0)
+        cycles = items / self.replication + _PIPELINE_FILL_CYCLES
+        return max(cycles / self.fmax_hz, self._memory_time(profile))
+
+    # -- unified entry point ------------------------------------------------
+    def kernel_time_s(self, kernel: KernelSpec, profile: KernelProfile,
+                      replication: int | None = None) -> float:
+        """Time one launch; ``replication`` overrides the model-wide
+        compute-unit count for this kernel (designs replicate different
+        kernels by different factors, e.g. Where's 2x scan vs 20x
+        mark/scatter, §5.5)."""
+        if replication is not None and replication != self.replication:
+            scoped = FpgaModel(self.spec, self.synthesis, replication=replication)
+            return scoped.kernel_time_s(kernel, profile)
+        if kernel.is_single_task:
+            return self.single_task_time_s(kernel, profile).time_s
+        return self.nd_range_time_s(kernel, profile).time_s

@@ -1,0 +1,106 @@
+"""A functional SYCL runtime model.
+
+This package reproduces the SYCL 2020 surface the migrated Altis suite
+uses — queues, buffers/accessors, USM, profiling events, ND-range
+execution with work-group barriers and local memory, Single-Task kernels
+with Intel FPGA pipes, and the oneDPL algorithms — executing kernels
+functionally on the host while advancing a modeled device clock.
+"""
+
+from . import onedpl
+from .buffer import AccessMode, Accessor, Buffer, LocalAccessor, no_init
+from .device import (
+    Aspect,
+    Device,
+    accelerator_selector,
+    available_devices,
+    cpu_selector,
+    default_selector,
+    device,
+    fpga_selector,
+    gpu_selector,
+    select_device,
+)
+from .event import CommandKind, Event, ProfilingInfo
+from .executor import ExecutionStats, run_nd_range, run_single_task, validate_launch
+from .kernel import KernelAttributes, KernelKind, KernelSpec, LoopSpec
+from .local_memory import group_local_memory_for_overwrite
+from .ndrange import BarrierToken, FenceSpace, Group, Id, NdItem, NdRange, Range
+from .pipes import DataflowGraph, Pipe, PipeBlocked
+from .queue import Handler, Queue, SpecTiming, TimelineEntry
+from .streams import OutOfOrderQueue, hyperq_speedup
+from .usm import (
+    MemAdvice,
+    UsmKind,
+    UsmPointer,
+    free,
+    malloc_device,
+    malloc_host,
+    malloc_shared,
+    mem_advise,
+)
+
+__all__ = [
+    "onedpl",
+    # buffer
+    "AccessMode",
+    "Accessor",
+    "Buffer",
+    "LocalAccessor",
+    "no_init",
+    # device
+    "Aspect",
+    "Device",
+    "device",
+    "select_device",
+    "available_devices",
+    "default_selector",
+    "cpu_selector",
+    "gpu_selector",
+    "accelerator_selector",
+    "fpga_selector",
+    # events
+    "Event",
+    "ProfilingInfo",
+    "CommandKind",
+    # execution
+    "ExecutionStats",
+    "run_nd_range",
+    "run_single_task",
+    "validate_launch",
+    # kernels
+    "KernelSpec",
+    "KernelKind",
+    "KernelAttributes",
+    "LoopSpec",
+    # index space
+    "Range",
+    "Id",
+    "NdRange",
+    "NdItem",
+    "Group",
+    "FenceSpace",
+    "BarrierToken",
+    # pipes
+    "Pipe",
+    "PipeBlocked",
+    "DataflowGraph",
+    # queue
+    "Queue",
+    "Handler",
+    "SpecTiming",
+    "TimelineEntry",
+    "OutOfOrderQueue",
+    "hyperq_speedup",
+    # local memory
+    "group_local_memory_for_overwrite",
+    # usm
+    "UsmPointer",
+    "UsmKind",
+    "MemAdvice",
+    "malloc_device",
+    "malloc_host",
+    "malloc_shared",
+    "free",
+    "mem_advise",
+]

@@ -1,0 +1,237 @@
+"""SYCL buffers and accessors over numpy storage.
+
+Functional semantics: the buffer owns a numpy array; accessors hand out
+views with the requested access mode enforced.  The runtime additionally
+tracks *modeled* data movement: the first device access of a buffer
+implies a host-to-device copy, and destruction/host access implies a
+write-back if a writable accessor was created.  Those modeled transfers
+feed the non-kernel-time component of Figure 1.
+
+FPGA-relevant behaviour reproduced from the paper (§4 "SYCL accessors"):
+
+* A **local accessor** (shared memory) created without a static size is
+  flagged ``dynamically_sized``; the FPGA resource model then charges the
+  16 KiB worst-case memory system the oneAPI compiler must assume.
+* Passing an **accessor object** (rather than a raw pointer,
+  ``get_pointer()``) as a kernel argument is recorded on the accessor, so
+  the resource model can charge the synthesized member functions.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..common.errors import InvalidParameterError
+from .ndrange import Range
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .queue import Handler
+
+__all__ = ["AccessMode", "Buffer", "Accessor", "LocalAccessor", "no_init"]
+
+
+class AccessMode(str, Enum):
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+
+class _NoInit:
+    """``sycl::no_init`` / ``sycl::noinit`` property tag."""
+
+    def __repr__(self) -> str:
+        return "no_init"
+
+
+no_init = _NoInit()
+
+
+class Buffer:
+    """``sycl::buffer`` — device-visible storage with host write-back."""
+
+    def __init__(self, data=None, range: Range | tuple | int | None = None, dtype=None):
+        if data is not None:
+            self._host = np.ascontiguousarray(data)
+            if dtype is not None:
+                self._host = self._host.astype(dtype, copy=False)
+        else:
+            if range is None:
+                raise InvalidParameterError("buffer needs data or a range")
+            rng = range if isinstance(range, Range) else Range(range)
+            self._host = np.zeros(rng.dims, dtype=dtype or np.float32)
+        self.range = Range(self._host.shape)
+        # modeled transfer state
+        self.resident_on_device = False
+        self.dirty_on_device = False
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+
+    @property
+    def dtype(self):
+        return self._host.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._host.nbytes
+
+    def size(self) -> int:
+        return int(self._host.size)
+
+    def get_range(self) -> Range:
+        return self.range
+
+    # -- modeled transfers ----------------------------------------------
+    def _touch_device(self, writes: bool, discard: bool = False) -> int:
+        """Mark a device-side access; returns modeled H2D bytes incurred."""
+        moved = 0
+        if not self.resident_on_device:
+            if not discard:
+                moved = self.nbytes
+                self.h2d_bytes += moved
+            self.resident_on_device = True
+        if writes:
+            self.dirty_on_device = True
+        return moved
+
+    def _sync_to_host(self) -> int:
+        """Write back device results; returns modeled D2H bytes."""
+        if self.dirty_on_device:
+            self.dirty_on_device = False
+            self.d2h_bytes += self.nbytes
+            return self.nbytes
+        return 0
+
+    # -- host access -------------------------------------------------------
+    def host_array(self) -> np.ndarray:
+        """Direct host view (a ``host_accessor``); syncs modeled state."""
+        self._sync_to_host()
+        return self._host
+
+    def get_access(self, handler: "Handler", mode: AccessMode = AccessMode.READ_WRITE,
+                   *props) -> "Accessor":
+        return Accessor(self, handler, mode, *props)
+
+    def __repr__(self) -> str:
+        return f"Buffer(shape={self._host.shape}, dtype={self._host.dtype})"
+
+
+class Accessor:
+    """Device accessor: a mode-checked window onto a buffer.
+
+    Reads and writes go straight to the backing numpy array (the
+    functional runtime executes on the host); mode violations raise,
+    which catches kernel bugs the C++ type system would catch.
+    """
+
+    def __init__(self, buf: Buffer, handler: "Handler | None", mode: AccessMode, *props):
+        self.buffer = buf
+        self.mode = AccessMode(mode)
+        self.noinit = any(isinstance(p, _NoInit) for p in props)
+        #: set to True when the accessor object itself (not get_pointer())
+        #: is passed as a kernel argument — costs FPGA resources (§4).
+        self.passed_as_object = False
+        if handler is not None:
+            handler._register_accessor(self)
+
+    # SYCL's accessor::get_pointer() — on FPGA this avoids synthesizing
+    # the accessor's member functions.
+    def get_pointer(self) -> np.ndarray:
+        return self.buffer._host
+
+    @property
+    def writable(self) -> bool:
+        return self.mode in (AccessMode.WRITE, AccessMode.READ_WRITE)
+
+    @property
+    def readable(self) -> bool:
+        return self.mode in (AccessMode.READ, AccessMode.READ_WRITE)
+
+    def __getitem__(self, idx):
+        if not self.readable:
+            raise InvalidParameterError("read through write-only accessor")
+        return self.buffer._host[idx]
+
+    def __setitem__(self, idx, value):
+        if not self.writable:
+            raise InvalidParameterError("write through read-only accessor")
+        self.buffer._host[idx] = value
+
+    def __len__(self) -> int:
+        return len(self.buffer._host)
+
+    @property
+    def shape(self):
+        return self.buffer._host.shape
+
+    @property
+    def dtype(self):
+        return self.buffer._host.dtype
+
+    def array(self) -> np.ndarray:
+        """Whole-array view for vectorized kernels (mode still enforced
+        at acquisition: write-only views are returned uninitialized-safe)."""
+        return self.buffer._host
+
+    def __repr__(self) -> str:
+        return f"Accessor({self.buffer!r}, mode={self.mode.value})"
+
+
+class LocalAccessor:
+    """``sycl::local_accessor`` — work-group shared memory.
+
+    The executor allocates a fresh numpy array per work-group.  If the
+    extent is not statically known at "compile" time (``static=False``,
+    DPCT's default, per §4), the FPGA model charges 16 KiB for it.
+    """
+
+    MAX_DYNAMIC_BYTES = 16 * 1024
+
+    def __init__(self, shape, dtype=np.float32, *, static: bool = True,
+                 handler: "Handler | None" = None):
+        self.shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.static = static
+        self._current: np.ndarray | None = None
+        if handler is not None:
+            handler._register_local(self)
+
+    @property
+    def nbytes(self) -> int:
+        n = self.dtype.itemsize
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def modeled_fpga_bytes(self) -> int:
+        """Bytes the FPGA compiler must provision (16 KiB if dynamic)."""
+        return self.nbytes if self.static else self.MAX_DYNAMIC_BYTES
+
+    def _begin_group(self) -> None:
+        self._current = np.zeros(self.shape, dtype=self.dtype)
+
+    def _end_group(self) -> None:
+        self._current = None
+
+    def _require(self) -> np.ndarray:
+        if self._current is None:
+            raise InvalidParameterError(
+                "local accessor used outside of a work-group execution"
+            )
+        return self._current
+
+    def __getitem__(self, idx):
+        return self._require()[idx]
+
+    def __setitem__(self, idx, value):
+        self._require()[idx] = value
+
+    def array(self) -> np.ndarray:
+        return self._require()
+
+    def __repr__(self) -> str:
+        kind = "static" if self.static else "dynamic"
+        return f"LocalAccessor(shape={self.shape}, {kind})"

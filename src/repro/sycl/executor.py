@@ -1,0 +1,243 @@
+"""Functional execution of SYCL kernels.
+
+Two execution paths:
+
+* **vectorized** — the kernel's ``vector_fn`` is invoked once for the
+  whole range (numpy fast path, the idiomatic HPC-Python form);
+* **per-item** — the kernel's ``item_fn`` is run for every work-item.
+  Kernels that synchronize are generator functions; the executor runs all
+  items of a work-group *phase by phase*: it advances every generator to
+  its next ``yield item.barrier(...)`` before any generator continues.
+  This is exactly the SIMT barrier contract — every work-item of the
+  group reaches barrier *k* before any proceeds past it.
+
+The executor validates work-group limits against kernel attributes,
+reproducing the runtime errors the paper hit when Altis' default
+work-group sizes exceeded the FPGA compiler's preconfigured maxima (§4).
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import Sequence
+
+from ..common.errors import KernelLaunchError
+from .buffer import LocalAccessor
+from .kernel import KernelSpec
+from .ndrange import BarrierToken, Group, NdItem, NdRange
+
+__all__ = ["validate_launch", "run_nd_range", "run_single_task", "ExecutionStats"]
+
+
+class ExecutionStats:
+    """Counters the executor produces for one launch (functional layer)."""
+
+    __slots__ = ("groups", "items", "barrier_phases")
+
+    def __init__(self) -> None:
+        self.groups = 0
+        self.items = 0
+        self.barrier_phases = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionStats(groups={self.groups}, items={self.items}, "
+            f"barrier_phases={self.barrier_phases})"
+        )
+
+
+def validate_launch(kernel: KernelSpec, nd_range: NdRange,
+                    device_max_wg: int | None = None) -> None:
+    """Check the launch configuration against kernel attributes.
+
+    Raises :class:`KernelLaunchError` when the work-group shape violates
+    ``reqd_work_group_size`` or exceeds ``max_work_group_size`` or the
+    device limit — the error class the paper saw on FPGAs before adding
+    the attributes.
+    """
+    attrs = kernel.attributes
+    local = tuple(nd_range.local_range)
+    if attrs.reqd_work_group_size is not None:
+        # SYCL attribute order matches the range dimensions used at launch;
+        # compare trailing dims so (1,1,B) matches a 1-D launch of B.
+        reqd = tuple(d for d in attrs.reqd_work_group_size if d != 1) or (1,)
+        got = tuple(d for d in local if d != 1) or (1,)
+        if reqd != got:
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r} requires work-group "
+                f"{attrs.reqd_work_group_size}, launched with {local}"
+            )
+    if attrs.max_work_group_size is not None:
+        limit = 1
+        for d in attrs.max_work_group_size:
+            limit *= d
+        if nd_range.group_size() > limit:
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r} work-group size {nd_range.group_size()} "
+                f"exceeds max_work_group_size {limit}"
+            )
+    if device_max_wg is not None and nd_range.group_size() > device_max_wg:
+        # Without an explicit max_work_group_size attribute the device's
+        # preconfigured limit applies (128 on the modeled FPGAs, §4).
+        if attrs.max_work_group_size is None:
+            raise KernelLaunchError(
+                f"work-group size {nd_range.group_size()} exceeds the device "
+                f"limit {device_max_wg}; add reqd/max_work_group_size "
+                f"attributes (paper §4 'Default work-group sizes')"
+            )
+
+
+def _iter_points(extents: Sequence[int]):
+    return itertools.product(*(range(e) for e in extents))
+
+
+def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
+                          args: tuple) -> ExecutionStats:
+    """Execute an ND-range kernel with **grid-level synchronization**.
+
+    Altis exercises CUDA cooperative groups' grid sync (paper §2.2);
+    SYCL has no portable equivalent, so migrated kernels restructure —
+    but the reproduction keeps the primitive for the CUDA side.  Every
+    ``yield item.barrier(...)`` synchronizes across the *entire grid*,
+    not just the work-group: all items of all groups reach barrier k
+    before any proceeds.
+    """
+    if kernel.item_fn is None:
+        raise KernelLaunchError(
+            f"kernel {kernel.name!r} needs an item_fn for grid sync")
+    if not inspect.isgeneratorfunction(kernel.item_fn):
+        raise KernelLaunchError(
+            f"kernel {kernel.name!r} never synchronizes; use run_nd_range")
+    stats = ExecutionStats()
+    local_accessors = [a for a in args if isinstance(a, LocalAccessor)]
+    for acc in local_accessors:
+        acc._begin_group()  # one grid-wide instance
+    gens = []
+    for gid in _iter_points(nd_range.group_range().dims):
+        group = Group(gid, nd_range)
+        stats.groups += 1
+        for lid in _iter_points(nd_range.local_range.dims):
+            glob = tuple(g * l + p for g, l, p in
+                         zip(gid, nd_range.local_range.dims, lid))
+            gens.append(kernel.item_fn(NdItem(glob, lid, group), *args))
+            stats.items += 1
+    live = list(range(len(gens)))
+    while live:
+        next_live = []
+        reached = 0
+        for i in live:
+            try:
+                token = next(gens[i])
+            except StopIteration:
+                continue
+            if not isinstance(token, BarrierToken):
+                raise KernelLaunchError(
+                    f"kernel {kernel.name!r} yielded {token!r}; grid-sync "
+                    "kernels must `yield item.barrier(...)`")
+            reached += 1
+            next_live.append(i)
+        if reached and reached != len(live):
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r}: divergent grid barrier - only "
+                f"{reached} of {len(live)} work-items reached it")
+        if reached:
+            stats.barrier_phases += 1
+        live = next_live
+    for acc in local_accessors:
+        acc._end_group()
+    return stats
+
+
+def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
+                 *, force_item: bool = False,
+                 device_max_wg: int | None = None) -> ExecutionStats:
+    """Execute an ND-range kernel functionally."""
+    validate_launch(kernel, nd_range, device_max_wg)
+    stats = ExecutionStats()
+
+    if kernel.vector_fn is not None and not force_item:
+        kernel.vector_fn(nd_range, *args)
+        stats.groups = nd_range.num_groups()
+        stats.items = nd_range.total_items()
+        return stats
+
+    if kernel.item_fn is None:
+        raise KernelLaunchError(
+            f"kernel {kernel.name!r} has no item_fn (force_item requested)"
+        )
+
+    local_accessors = [a for a in args if isinstance(a, LocalAccessor)]
+    group_extents = nd_range.group_range().dims
+    local_extents = nd_range.local_range.dims
+    is_generator = inspect.isgeneratorfunction(kernel.item_fn)
+
+    for gid in _iter_points(group_extents):
+        group = Group(gid, nd_range)
+        for acc in local_accessors:
+            acc._begin_group()
+        stats.groups += 1
+
+        items = []
+        for lid in _iter_points(local_extents):
+            glob = tuple(g * l + p for g, l, p in zip(gid, local_extents, lid))
+            items.append(NdItem(glob, lid, group))
+        stats.items += len(items)
+
+        if not is_generator:
+            for item in items:
+                kernel.item_fn(item, *args)
+        else:
+            # Phase-by-phase barrier scheduling.
+            gens = [kernel.item_fn(item, *args) for item in items]
+            live = list(range(len(gens)))
+            while live:
+                next_live = []
+                tokens = []
+                for i in live:
+                    try:
+                        token = next(gens[i])
+                    except StopIteration:
+                        continue
+                    if not isinstance(token, BarrierToken):
+                        raise KernelLaunchError(
+                            f"kernel {kernel.name!r} yielded {token!r}; "
+                            "barrier kernels must `yield item.barrier(...)`"
+                        )
+                    tokens.append(token)
+                    next_live.append(i)
+                if tokens and len(tokens) != len(live):
+                    raise KernelLaunchError(
+                        f"kernel {kernel.name!r}: divergent barrier - only "
+                        f"{len(tokens)} of {len(live)} work-items reached it"
+                    )
+                if tokens:
+                    stats.barrier_phases += 1
+                live = next_live
+
+        for acc in local_accessors:
+            acc._end_group()
+    return stats
+
+
+def run_single_task(kernel: KernelSpec, args: tuple) -> ExecutionStats:
+    """Execute a single-task kernel (no index space).
+
+    Pipe-blocking single-task kernels must be scheduled by the dataflow
+    scheduler in :mod:`repro.sycl.pipes`; calling them here runs them to
+    completion and will raise if a pipe read ever blocks.
+    """
+    stats = ExecutionStats()
+    fn = kernel.vector_fn or kernel.item_fn
+    result = fn(*args)
+    if inspect.isgenerator(result):
+        # Drain a generator-style kernel; any yield means it blocked on a
+        # pipe with no co-scheduled producer.
+        for _ in result:
+            raise KernelLaunchError(
+                f"single-task kernel {kernel.name!r} blocked on a pipe; "
+                "submit it through a DataflowGraph instead"
+            )
+    stats.groups = 1
+    stats.items = 1
+    return stats

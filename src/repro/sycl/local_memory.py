@@ -1,0 +1,41 @@
+"""``group_local_memory_for_overwrite`` — statically sized shared memory.
+
+The paper (§5.2) replaces DPCT's default SYCL local accessors with
+``sycl::ext::oneapi::group_local_memory_for_overwrite`` on Intel FPGAs:
+unlike accessors (whose dynamic size forces the FPGA compiler to assume
+a 16 KiB worst case, §4), these objects have a user-defined compile-time
+size, shrinking the synthesized memory system.
+
+Vendor/device specificity is reproduced: requesting one on a CPU or GPU
+device raises :class:`FeatureNotSupportedError`, matching "not supported
+on CPUs/GPUs" in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import FeatureNotSupportedError
+from .buffer import LocalAccessor
+from .device import Device
+
+__all__ = ["group_local_memory_for_overwrite"]
+
+
+def group_local_memory_for_overwrite(shape, dtype=np.float32, *,
+                                     device: Device | None = None) -> LocalAccessor:
+    """Allocate statically sized work-group local memory.
+
+    Returns a :class:`LocalAccessor` with ``static=True`` so the FPGA
+    resource model charges only the declared bytes.  Contents are
+    "for overwrite": uninitialized in real SYCL; the functional model
+    zero-fills per work-group, which is safe because all Altis kernels
+    store before loading.
+    """
+    if device is not None and not device.is_fpga:
+        raise FeatureNotSupportedError(
+            "group_local_memory_for_overwrite is only provided by the "
+            "oneAPI FPGA toolkit (paper §5.2); use a local accessor on "
+            f"{device.spec.key!r}"
+        )
+    return LocalAccessor(shape, dtype, static=True)

@@ -1,0 +1,137 @@
+"""Unified Shared Memory (USM) allocation model.
+
+All Altis applications use USM (paper §3.2.1).  Two behaviours from the
+paper are reproduced here:
+
+* ``malloc_host`` / ``malloc_shared`` on the selected FPGA boards always
+  return ``nullptr`` — modeled by returning ``None`` — which is why the
+  authors removed USM from the FPGA builds of Altis-SYCL.
+* ``mem_advise`` takes *device-dependent* advice integers; DPCT flags
+  every call-site with a warning because the right value must be chosen
+  per target.  We validate advice values against a per-device table and
+  raise on unsupported ones.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..common.errors import FeatureNotSupportedError, InvalidParameterError
+from .device import Aspect, Device
+
+__all__ = [
+    "UsmKind",
+    "UsmPointer",
+    "malloc_device",
+    "malloc_host",
+    "malloc_shared",
+    "free",
+    "MemAdvice",
+    "mem_advise",
+]
+
+
+class UsmKind(str, Enum):
+    DEVICE = "device"
+    HOST = "host"
+    SHARED = "shared"
+
+
+class UsmPointer:
+    """A USM allocation: numpy storage tagged with its USM kind."""
+
+    def __init__(self, count: int, dtype, kind: UsmKind, device: Device):
+        self.data = np.zeros(count, dtype=dtype)
+        self.kind = kind
+        self.device = device
+        self.freed = False
+
+    def _check(self) -> None:
+        if self.freed:
+            raise InvalidParameterError("use-after-free of USM allocation")
+
+    def __getitem__(self, idx):
+        self._check()
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self._check()
+        self.data[idx] = value
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def array(self) -> np.ndarray:
+        self._check()
+        return self.data
+
+    def __repr__(self) -> str:
+        return f"UsmPointer({self.kind.value}, n={len(self.data)}, dtype={self.data.dtype})"
+
+
+def malloc_device(count: int, dtype, device: Device) -> UsmPointer:
+    if count <= 0:
+        raise InvalidParameterError("allocation count must be positive")
+    return UsmPointer(count, dtype, UsmKind.DEVICE, device)
+
+
+def malloc_host(count: int, dtype, device: Device) -> UsmPointer | None:
+    """Returns ``None`` on FPGAs, as the paper observed on both boards."""
+    if not device.has(Aspect.USM_HOST_ALLOCATIONS):
+        return None
+    if count <= 0:
+        raise InvalidParameterError("allocation count must be positive")
+    return UsmPointer(count, dtype, UsmKind.HOST, device)
+
+
+def malloc_shared(count: int, dtype, device: Device) -> UsmPointer | None:
+    if not device.has(Aspect.USM_SHARED_ALLOCATIONS):
+        return None
+    if count <= 0:
+        raise InvalidParameterError("allocation count must be positive")
+    return UsmPointer(count, dtype, UsmKind.SHARED, device)
+
+
+def free(ptr: UsmPointer) -> None:
+    if ptr.freed:
+        raise InvalidParameterError("double free of USM allocation")
+    ptr.freed = True
+
+
+class MemAdvice(int, Enum):
+    """Advice values; numeric values are back-end specific, hence DPCT's
+    warning that developers must pick per-device values."""
+
+    DEFAULT = 0
+    READ_MOSTLY = 1
+    PREFER_DEVICE = 2
+    PREFER_HOST = 3
+    ACCESSED_BY_HOST = 4
+
+
+#: Which advice integers each device kind accepts.  CUDA back-ends accept
+#: the cudaMemAdvise-style set; Level-Zero accepts only 0 (reset).
+_SUPPORTED_ADVICE: dict[str, frozenset[int]] = {
+    "cpu": frozenset({0}),
+    "gpu": frozenset({0, 1, 2, 3, 4}),
+    "fpga": frozenset(),
+}
+
+
+def mem_advise(ptr: UsmPointer, advice: int | MemAdvice, device: Device) -> None:
+    """Validate a ``queue::mem_advise`` call for the given device."""
+    ptr._check()
+    if ptr.kind is not UsmKind.SHARED:
+        raise InvalidParameterError("mem_advise applies to shared allocations")
+    allowed = _SUPPORTED_ADVICE[device.spec.kind.value]
+    if int(advice) not in allowed:
+        raise FeatureNotSupportedError(
+            f"device {device.spec.key!r} does not accept mem_advise value "
+            f"{int(advice)} (supported: {sorted(allowed)})"
+        )

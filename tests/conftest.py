@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sycl import Queue, device
+
+
+@pytest.fixture
+def gpu_queue() -> Queue:
+    return Queue("rtx2080")
+
+
+@pytest.fixture
+def cpu_queue() -> Queue:
+    return Queue("xeon6128")
+
+
+@pytest.fixture
+def fpga_queue() -> Queue:
+    return Queue("stratix10")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["rtx2080", "a100", "max1100"])
+def any_gpu(request):
+    return device(request.param)
+
+
+@pytest.fixture(params=["stratix10", "agilex"])
+def any_fpga_key(request) -> str:
+    return request.param

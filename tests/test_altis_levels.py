@@ -1,0 +1,156 @@
+"""Tests for the Level-0 microbenchmarks and Level-1 algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.altis.level0 import (
+    LEVEL0_BENCHMARKS,
+    BusSpeedDownload,
+    DeviceMemory,
+    KernelLaunch,
+    MaxFlops,
+    run_level0,
+)
+from repro.altis.level1 import LEVEL1_BENCHMARKS, Bfs, Gemm, Gups, Pathfinder, Sort
+from repro.harness.resultdb import ResultDB
+from repro.sycl import Queue
+
+
+class TestLevel0:
+    def test_run_all_fills_db(self):
+        db = run_level0("rtx2080")
+        assert len(db) > 10  # bandwidth sweep + flops + launch
+
+    def test_bus_speed_grows_with_block_size(self):
+        db = ResultDB()
+        BusSpeedDownload().run("rtx2080", db)
+        small = db.get("BusSpeedDownload", "bw_1KiB").mean
+        large = db.get("BusSpeedDownload", "bw_65536KiB").mean
+        assert large > 10 * small  # latency-bound -> bandwidth-bound
+
+    def test_device_memory_tracks_spec_bandwidth(self):
+        for key, bw in (("rtx2080", 448.0), ("a100", 1555.0)):
+            db = ResultDB()
+            DeviceMemory().run(key, db)
+            measured = db.get("DeviceMemory", "triad_bw").mean
+            assert 0.4 * bw < measured <= bw
+
+    def test_maxflops_tracks_spec_peak(self):
+        db = ResultDB()
+        MaxFlops().run("rtx2080", db)
+        sp = db.get("MaxFlops", "sp_flops").mean
+        dp = db.get("MaxFlops", "dp_flops").mean
+        assert 0.5 * 10_100 < sp <= 10_100  # GFLOP/s vs 10.1 TFLOP/s peak
+        assert dp < sp / 10  # consumer FP64 cliff
+
+    def test_kernel_launch_overhead_ordering(self):
+        """FPGA launch overhead >> GPU launch overhead (§5 context)."""
+        per_dev = {}
+        for key in ("rtx2080", "stratix10"):
+            db = ResultDB()
+            KernelLaunch().run(key, db)
+            per_dev[key] = db.get("KernelLaunch", "launch_overhead").mean
+        assert per_dev["stratix10"] > 3 * per_dev["rtx2080"]
+
+    def test_registry(self):
+        assert set(LEVEL0_BENCHMARKS) == {
+            "BusSpeedDownload", "BusSpeedReadback", "DeviceMemory",
+            "MaxFlops", "KernelLaunch"}
+
+    def test_multiple_passes(self):
+        db = ResultDB()
+        MaxFlops().run("a100", db, passes=3)
+        assert db.get("MaxFlops", "sp_flops").count == 3
+
+
+class TestGemm:
+    def test_vector_path(self, gpu_queue):
+        g = Gemm()
+        w = g.generate(n=48, seed=1)
+        out = g.run_sycl(gpu_queue, w)
+        np.testing.assert_allclose(out, g.reference(w), rtol=1e-4, atol=1e-4)
+
+    def test_item_path_with_tile_barriers(self, gpu_queue):
+        g = Gemm()
+        w = g.generate(n=16, seed=2)
+        out = g.run_sycl(gpu_queue, w, force_item=True)
+        np.testing.assert_allclose(out, g.reference(w), rtol=1e-3, atol=1e-3)
+
+    def test_profile_flops(self):
+        prof = Gemm().profile(128)
+        assert prof.flops == 2 * 128 ** 3
+
+
+class TestBfs:
+    def test_vector_path(self, gpu_queue):
+        b = Bfs()
+        w = b.generate(n=200, seed=3)
+        depth = b.run_sycl(gpu_queue, w)
+        np.testing.assert_array_equal(depth, b.reference(w))
+
+    def test_item_path(self, gpu_queue):
+        b = Bfs()
+        w = b.generate(n=48, seed=4)
+        depth = b.run_sycl(gpu_queue, w, force_item=True)
+        np.testing.assert_array_equal(depth, b.reference(w))
+
+    def test_all_reachable_on_ring(self, gpu_queue):
+        b = Bfs()
+        w = b.generate(n=64, avg_degree=0, seed=5)
+        depth = b.run_sycl(gpu_queue, w)
+        assert (depth >= 0).all()  # the ring guarantees reachability
+
+
+class TestPathfinder:
+    def test_vector_path(self, gpu_queue):
+        p = Pathfinder()
+        w = p.generate(rows=32, cols=64, seed=6)
+        out = p.run_sycl(gpu_queue, w)
+        np.testing.assert_array_equal(out, p.reference(w))
+
+    def test_item_path(self, gpu_queue):
+        p = Pathfinder()
+        w = p.generate(rows=8, cols=24, seed=7)
+        out = p.run_sycl(gpu_queue, w, force_item=True)
+        np.testing.assert_array_equal(out, p.reference(w))
+
+    def test_monotone_cost(self, gpu_queue):
+        p = Pathfinder()
+        w = p.generate(rows=16, cols=16, seed=8)
+        out = p.run_sycl(gpu_queue, w)
+        assert (out >= w["grid"][0].min()).all()
+
+
+class TestSort:
+    def test_sorts(self, gpu_queue):
+        s = Sort()
+        w = s.generate(n=2048, seed=9)
+        out = s.run_sycl(gpu_queue, w)
+        np.testing.assert_array_equal(out, s.reference(w))
+
+    def test_permutation_preserved(self, gpu_queue):
+        s = Sort()
+        w = s.generate(n=512, seed=10)
+        out = s.run_sycl(gpu_queue, w)
+        np.testing.assert_array_equal(np.sort(w["keys"]), out)
+
+
+class TestGups:
+    def test_updates_match_reference(self, gpu_queue):
+        g = Gups()
+        w = g.generate(log_table=10, updates=1 << 12, seed=11)
+        out = g.run_sycl(gpu_queue, w)
+        np.testing.assert_array_equal(out, g.reference(w))
+
+    def test_random_access_derated_on_cpu(self):
+        from repro.perfmodel import CpuModel, get_spec
+
+        g = Gups()
+        prof = g.profile(1 << 20, 1 << 20)
+        streaming = prof.with_(cpu_bw_efficiency=None)
+        m = CpuModel(get_spec("xeon6128"))
+        assert m.kernel_time_s(prof) > 5 * m.kernel_time_s(streaming)
+
+    def test_registry(self):
+        assert set(LEVEL1_BENCHMARKS) == {"GEMM", "BFS", "Pathfinder",
+                                          "Sort", "GUPS"}

@@ -1,0 +1,114 @@
+"""Tests for the error hierarchy and the AltisApp base-class helpers."""
+
+import numpy as np
+import pytest
+
+from repro.altis import Variant, make_app
+from repro.altis.base import AltisApp, Workload
+from repro.common import errors
+
+
+class TestErrorHierarchy:
+    def test_all_under_repro_error(self):
+        for cls in (errors.SyclError, errors.CudaError, errors.MigrationError,
+                    errors.FpgaToolError, errors.CalibrationError,
+                    errors.PipeError):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_sycl_family(self):
+        for cls in (errors.InvalidParameterError,
+                    errors.FeatureNotSupportedError,
+                    errors.KernelLaunchError, errors.DeviceNotFoundError,
+                    errors.PipeError, errors.DataflowDeadlockError):
+            assert issubclass(cls, errors.SyclError)
+
+    def test_fpga_family(self):
+        assert issubclass(errors.FitError, errors.FpgaToolError)
+        assert issubclass(errors.TimingViolationError, errors.FpgaToolError)
+
+    def test_fit_error_carries_utilization(self):
+        e = errors.FitError("too big", utilization={"alm": 1.2})
+        assert e.utilization == {"alm": 1.2}
+
+    def test_fit_error_default_utilization(self):
+        assert errors.FitError("x").utilization == {}
+
+    def test_timing_violation_carries_mhz(self):
+        e = errors.TimingViolationError("slow", achieved_mhz=180.0)
+        assert e.achieved_mhz == 180.0
+
+    def test_deadlock_is_pipe_error(self):
+        assert issubclass(errors.DataflowDeadlockError, errors.PipeError)
+
+
+class TestVariant:
+    def test_runtime_mapping(self):
+        assert Variant.CUDA.runtime == "cuda"
+        for v in (Variant.SYCL_BASELINE, Variant.SYCL_OPT,
+                  Variant.FPGA_BASE, Variant.FPGA_OPT):
+            assert v.runtime == "sycl"
+
+    def test_from_string(self):
+        assert Variant("sycl_opt") is Variant.SYCL_OPT
+
+
+class TestWorkload:
+    def test_getitem(self):
+        w = Workload(app="x", size=1,
+                     arrays={"a": np.arange(3)}, params={"n": 3})
+        np.testing.assert_array_equal(w["a"], [0, 1, 2])
+
+    def test_missing_array_raises(self):
+        w = Workload(app="x", size=1, arrays={}, params={})
+        with pytest.raises(KeyError):
+            _ = w["nope"]
+
+
+class TestAppBaseHelpers:
+    def test_scaled_minimum(self):
+        assert AltisApp.scaled(1000, 0.001, minimum=8) == 8
+        assert AltisApp.scaled(1000, 0.5) == 500
+
+    def test_verify_raises_on_mismatch(self):
+        app = make_app("Mandelbrot")
+        good = {"out": np.ones(4)}
+        bad = {"out": np.zeros(4)}
+        with pytest.raises(AssertionError):
+            app.verify(bad, good)
+
+    def test_check_size_bounds(self):
+        app = make_app("NW")
+        for bad in (0, 4, -1):
+            with pytest.raises(errors.InvalidParameterError):
+                app.check_size(bad)
+
+    def test_default_variant_traits_neutral(self):
+        app = make_app("Mandelbrot")
+        iv = app.variant_traits(Variant.SYCL_OPT)
+        assert iv.kernel_multiplier() == 1.0
+
+    def test_repr(self):
+        assert "Mandelbrot" in repr(make_app("Mandelbrot"))
+
+    def test_reported_time_positive_all_variants(self):
+        app = make_app("KMeans")
+        for variant in (Variant.CUDA, Variant.SYCL_BASELINE,
+                        Variant.SYCL_OPT):
+            assert app.reported_time_s(1, variant, "rtx2080") > 0
+        for variant in (Variant.FPGA_BASE, Variant.FPGA_OPT):
+            assert app.reported_time_s(1, variant, "stratix10") > 0
+
+    def test_fpga_time_uses_cached_synthesis(self):
+        from repro.altis.base import FpgaSetup
+        from repro.fpga.synthesis import synthesize
+        from repro.perfmodel import get_spec
+
+        app = make_app("Mandelbrot")
+        setup = app.fpga_setup(1, True, "stratix10")
+        syn = synthesize(setup.design, get_spec("stratix10"), seed=7)
+        cached = FpgaSetup(design=setup.design, plan=setup.plan,
+                           replication=setup.replication,
+                           kernels=setup.kernels, synthesis=syn)
+        app.fpga_setup = lambda *a: cached  # inject
+        t = app.fpga_time(1, True, "stratix10")
+        assert t.total_s > 0

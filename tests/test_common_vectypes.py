@@ -1,0 +1,145 @@
+"""Unit tests for SYCL-style vector types."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.common.vectypes import (
+    Vec,
+    as_vec_array,
+    float2,
+    float3,
+    float4,
+    float8,
+    int3,
+    vec_cross,
+    vec_dot,
+    vec_length,
+    vec_normalize,
+)
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        v = float4()
+        assert list(v) == [0.0, 0.0, 0.0, 0.0]
+
+    def test_scalar_broadcast(self):
+        v = float3(2.5)
+        assert list(v) == [2.5, 2.5, 2.5]
+
+    def test_componentwise(self):
+        v = float3(1.0, 2.0, 3.0)
+        assert (v.x, v.y, v.z) == (1.0, 2.0, 3.0)
+
+    def test_from_sequence(self):
+        v = float2([4.0, 5.0])
+        assert list(v) == [4.0, 5.0]
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(InvalidParameterError):
+            float3(1.0, 2.0)
+
+    def test_wrong_sequence_length_raises(self):
+        with pytest.raises(InvalidParameterError):
+            float2([1.0, 2.0, 3.0])
+
+    def test_integer_vectors_truncate(self):
+        v = int3(1.9, 2.9, 3.9)
+        assert list(v) == [1, 2, 3]
+
+    def test_float8_width(self):
+        assert len(float8()) == 8
+
+
+class TestComponents:
+    def test_setters(self):
+        v = float4()
+        v.x, v.y, v.z, v.w = 1, 2, 3, 4
+        assert list(v) == [1, 2, 3, 4]
+
+    def test_no_z_on_float2(self):
+        with pytest.raises(AttributeError):
+            _ = float2().z
+
+    def test_no_w_on_float3(self):
+        with pytest.raises(AttributeError):
+            _ = float3().w
+
+    def test_indexing(self):
+        v = float4(1, 2, 3, 4)
+        assert v[2] == 3.0
+        v[2] = 9
+        assert v.z == 9.0
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert float3(1, 2, 3) + float3(4, 5, 6) == float3(5, 7, 9)
+
+    def test_scalar_ops(self):
+        assert float2(1, 2) * 3 == float2(3, 6)
+        assert 3 * float2(1, 2) == float2(3, 6)
+        assert float2(2, 4) / 2 == float2(1, 2)
+
+    def test_rsub(self):
+        assert 1.0 - float2(0.25, 0.5) == float2(0.75, 0.5)
+
+    def test_neg(self):
+        assert -float3(1, -2, 3) == float3(-1, 2, -3)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            float2(1, 2) + float3(1, 2, 3)
+
+    def test_hashable_value_semantics(self):
+        assert hash(float3(1, 2, 3)) == hash(float3(1, 2, 3))
+        assert float3(1, 2, 3) in {float3(1, 2, 3)}
+
+
+class TestGeometry:
+    def test_dot(self):
+        assert float3(1, 2, 3).dot(float3(4, 5, 6)) == pytest.approx(32.0)
+
+    def test_length(self):
+        assert float3(3, 4, 0).length() == pytest.approx(5.0)
+
+    def test_normalized(self):
+        n = float3(3, 4, 0).normalized()
+        assert n.length() == pytest.approx(1.0, rel=1e-6)
+
+    def test_normalize_zero_vector_stays_zero(self):
+        assert float3().normalized() == float3()
+
+
+class TestBulkArrays:
+    def test_as_vec_array_shape(self):
+        arr = as_vec_array(10, float4)
+        assert arr.shape == (10, 4)
+        assert arr.dtype == np.float32
+
+    def test_as_vec_array_rejects_non_vec(self):
+        with pytest.raises(InvalidParameterError):
+            as_vec_array(3, int)
+
+    def test_vec_dot_rowwise(self, rng):
+        a = rng.normal(size=(8, 3))
+        b = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(vec_dot(a, b), (a * b).sum(axis=1))
+
+    def test_vec_length_and_normalize(self, rng):
+        a = rng.normal(size=(16, 3))
+        n = vec_normalize(a)
+        np.testing.assert_allclose(vec_length(n), np.ones(16), rtol=1e-6)
+
+    def test_vec_normalize_handles_zero_rows(self):
+        a = np.zeros((2, 3))
+        out = vec_normalize(a)
+        assert not np.isnan(out).any()
+
+    def test_vec_cross_orthogonal(self, rng):
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(5, 3))
+        c = vec_cross(a, b)
+        np.testing.assert_allclose(vec_dot(c, a), 0.0, atol=1e-10)
+        np.testing.assert_allclose(vec_dot(c, b), 0.0, atol=1e-10)

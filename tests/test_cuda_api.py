@@ -1,0 +1,145 @@
+"""Unit tests for the mini-CUDA substrate."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CudaError
+from repro.cuda import (
+    CudaContext,
+    Dim3,
+    cudaMemcpyDeviceToHost,
+    cudaMemcpyHostToDevice,
+)
+from repro.cuda.curand import StateArray, curand_init, curand_uniform
+from repro.perfmodel import KernelProfile
+from repro.sycl import KernelSpec
+
+
+def _fill_kernel():
+    def body(item, out, n):
+        i = item.get_global_linear_id()
+        if i < n:
+            out[i] = i
+
+    return KernelSpec(name="fill", item_fn=body,
+                      vector_fn=lambda nd, out, n: out.__setitem__(
+                          slice(0, n), np.arange(n)))
+
+
+class TestDim3:
+    def test_defaults(self):
+        assert Dim3().size() == 1
+
+    def test_sycl_order_reversal(self):
+        assert Dim3(x=16, y=8, z=2).as_sycl_dims() == (2, 8, 16)
+
+
+class TestMemory:
+    def test_malloc_and_memcpy_roundtrip(self):
+        ctx = CudaContext("rtx2080")
+        host = np.arange(16, dtype=np.float32)
+        dev = ctx.malloc(16, np.float32)
+        ctx.memcpy(dev, host, host.nbytes, cudaMemcpyHostToDevice)
+        back = np.zeros(16, dtype=np.float32)
+        ctx.memcpy(back, dev, host.nbytes, cudaMemcpyDeviceToHost)
+        np.testing.assert_array_equal(back, host)
+
+    def test_bad_memcpy_kind(self):
+        ctx = CudaContext("rtx2080")
+        with pytest.raises(CudaError):
+            ctx.memcpy(np.zeros(4), np.zeros(4), 16, "sideways")
+
+    def test_double_free(self):
+        ctx = CudaContext("rtx2080")
+        ptr = ctx.malloc(4, np.float32)
+        ctx.free(ptr)
+        with pytest.raises(CudaError):
+            ctx.free(ptr)
+
+    def test_use_after_free(self):
+        ctx = CudaContext("rtx2080")
+        ptr = ctx.malloc(4, np.float32)
+        ctx.free(ptr)
+        with pytest.raises(CudaError):
+            _ = ptr[0]
+
+    def test_cuda_requires_gpu(self):
+        with pytest.raises(CudaError):
+            CudaContext("stratix10")
+
+
+class TestLaunchAndTiming:
+    def test_launch_executes_kernel(self):
+        ctx = CudaContext("rtx2080")
+        out = np.zeros(64, dtype=np.float64)
+        ctx.launch(_fill_kernel(), Dim3(4), Dim3(16), out, 64)
+        np.testing.assert_array_equal(out, np.arange(64))
+        assert ctx.launches == 1
+
+    def test_async_semantics_events_miss_kernel_time(self):
+        """cudaEventRecord without a sync misses in-flight kernel work —
+        the FDTD2D measurement pitfall (§3.3)."""
+        prof = KernelProfile(name="heavy", flops=1e10, global_bytes=1e8,
+                             work_items=1 << 20)
+        ctx = CudaContext("rtx2080")
+        start, stop = ctx.event_create(), ctx.event_create()
+        ctx.event_record(start)
+        ctx.launch(_fill_kernel(), Dim3(4), Dim3(16),
+                   np.zeros(64, dtype=np.float64), 64, profile=prof)
+        ctx.event_record(stop)  # no device_synchronize!
+        unsynced_ms = ctx.event_elapsed_ms(start, stop)
+
+        ctx2 = CudaContext("rtx2080")
+        s2, e2 = ctx2.event_create(), ctx2.event_create()
+        ctx2.event_record(s2)
+        ctx2.launch(_fill_kernel(), Dim3(4), Dim3(16),
+                    np.zeros(64, dtype=np.float64), 64, profile=prof)
+        ctx2.device_synchronize()
+        ctx2.event_record(e2)
+        synced_ms = ctx2.event_elapsed_ms(s2, e2)
+        assert synced_ms > 10 * unsynced_ms
+
+    def test_unrecorded_event_raises(self):
+        ctx = CudaContext("rtx2080")
+        with pytest.raises(CudaError):
+            ctx.event_elapsed_ms(ctx.event_create(), ctx.event_create())
+
+    def test_kernel_time_accumulates(self):
+        ctx = CudaContext("rtx2080")
+        out = np.zeros(64, dtype=np.float64)
+        ctx.launch(_fill_kernel(), Dim3(4), Dim3(16), out, 64)
+        t1 = ctx.kernel_time_s()
+        ctx.launch(_fill_kernel(), Dim3(4), Dim3(16), out, 64)
+        assert ctx.kernel_time_s() > t1
+
+    def test_memcpy_waits_for_device(self):
+        """A memcpy is synchronizing: host clock catches up."""
+        prof = KernelProfile(name="heavy", flops=1e9, global_bytes=1e6,
+                             work_items=1 << 20)
+        ctx = CudaContext("rtx2080")
+        out = np.zeros(64, dtype=np.float64)
+        ctx.launch(_fill_kernel(), Dim3(4), Dim3(16), out, 64, profile=prof)
+        assert ctx.device_done_ns > ctx.host_now_ns
+        ctx.memcpy(np.zeros(4, np.float32), np.zeros(4, np.float32), 16,
+                   cudaMemcpyDeviceToHost)
+        assert ctx.device_done_ns <= max(ctx.device_done_ns, ctx.host_now_ns)
+
+
+class TestCurand:
+    def test_per_thread_states(self):
+        states = StateArray(4)
+        for i in range(4):
+            curand_init(states, i, seed=7, subsequence=i)
+        vals = [curand_uniform(states, i) for i in range(4)]
+        assert len(set(vals)) == 4  # distinct streams
+
+    def test_uninitialized_state_raises(self):
+        states = StateArray(2)
+        with pytest.raises(RuntimeError):
+            curand_uniform(states, 0)
+
+    def test_deterministic_per_seed(self):
+        a, b = StateArray(1), StateArray(1)
+        curand_init(a, 0, seed=3)
+        curand_init(b, 0, seed=3)
+        assert curand_uniform(a, 0) == curand_uniform(b, 0)

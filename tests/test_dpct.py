@@ -1,0 +1,191 @@
+"""Unit tests for the DPCT-analogue migration engine."""
+
+import pytest
+
+from repro.common.errors import MigrationError
+from repro.dpct import (
+    Construct,
+    FixKind,
+    Migrator,
+    SourceModel,
+    WarningCategory,
+    build_report,
+    intercept_build,
+)
+
+
+def _model(**extra_counts) -> SourceModel:
+    constructs = [Construct("kernel_def", 2), Construct("generic_api", 10)]
+    for kind, n in extra_counts.items():
+        constructs.append(Construct(kind, n))
+    return SourceModel(app="demo", lines_of_code=500, constructs=constructs)
+
+
+class TestSourceModel:
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(MigrationError):
+            Construct("cuda_graphs", 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MigrationError):
+            Construct("kernel_def", -1)
+
+    def test_count_sums_over_groups(self):
+        sm = SourceModel(app="a", lines_of_code=10, constructs=[
+            Construct("syncthreads", 3), Construct("syncthreads", 4)])
+        assert sm.count("syncthreads") == 7
+
+    def test_validate_needs_kernel(self):
+        sm = SourceModel(app="a", lines_of_code=10,
+                         constructs=[Construct("generic_api", 1)])
+        with pytest.raises(MigrationError):
+            sm.validate()
+
+    def test_validate_needs_positive_loc(self):
+        sm = SourceModel(app="a", lines_of_code=0,
+                         constructs=[Construct("kernel_def", 1)])
+        with pytest.raises(MigrationError):
+            sm.validate()
+
+
+class TestInterceptBuild:
+    def test_one_entry_per_kernel_unit(self):
+        db = intercept_build(_model(cmake_command=2))
+        assert len(db) == 4  # 2 kernels + 2 cmake entries
+        assert db.app == "demo"
+
+    def test_mismatched_database_rejected(self):
+        db = intercept_build(_model())
+        other = _model()
+        other.app = "other"
+        with pytest.raises(MigrationError):
+            Migrator().migrate(other, db)
+
+
+class TestWarningEmission:
+    def test_event_timing_warns(self):
+        res = Migrator().migrate(_model(cuda_event_timing=5))
+        assert res.warnings_by_category()[WarningCategory.TIME_MEASUREMENT] == 5
+        assert res.migrated["std_chrono_timing"] == 5
+
+    def test_mem_advise_warns(self):
+        res = Migrator().migrate(_model(usm_mem_advise=3))
+        assert res.warnings_by_category()[WarningCategory.USM_MEM_ADVISE] == 3
+
+    def test_barrier_scope_warning_only_when_undetectable(self):
+        """§3.2.1: DPCT sometimes fails to prove the fence may be local."""
+        sm = SourceModel(app="demo", lines_of_code=100, constructs=[
+            Construct("kernel_def", 1),
+            Construct("syncthreads", 4, local_scope_detectable=True),
+            Construct("syncthreads", 6, local_scope_detectable=False),
+        ])
+        res = Migrator().migrate(sm)
+        assert res.warnings_by_category()[WarningCategory.BARRIER_SCOPE] == 6
+        assert res.migrated["nd_item_barrier"] == 10
+
+    def test_pow_squared_rewritten_silently(self):
+        res = Migrator().migrate(_model(pow_squared=2))
+        assert res.migrated["explicit_multiply"] == 2
+        assert res.warning_count == 0
+
+    def test_diagnostics_carry_dpct_ids(self):
+        res = Migrator().migrate(_model(cuda_event_timing=1))
+        assert any(d.dpct_id.startswith("DPCT") for d in res.diagnostics)
+
+
+class TestSilentHazards:
+    def test_virtual_functions_silently_hazardous(self):
+        """§3.2.2: DPCT does not annotate virtual functions, which are
+        unsupported in SYCL kernels — the app fails until refactored."""
+        res = Migrator().migrate(_model(virtual_function=3))
+        assert res.warning_count == 0  # silent!
+        assert not res.runs_without_errors()
+        res.apply_fix(FixKind.REMOVE_VIRTUAL_FUNCTIONS)
+        assert res.runs_without_errors()
+
+    def test_device_new_delete_silently_hazardous(self):
+        res = Migrator().migrate(_model(device_new_delete=2))
+        assert not res.runs_without_errors()
+        res.apply_fix(FixKind.HOIST_DEVICE_ALLOCATION)
+        assert res.runs_without_errors()
+
+    def test_duplicate_fix_rejected(self):
+        res = Migrator().migrate(_model(virtual_function=1))
+        res.apply_fix(FixKind.REMOVE_VIRTUAL_FUNCTIONS)
+        with pytest.raises(MigrationError):
+            res.apply_fix(FixKind.REMOVE_VIRTUAL_FUNCTIONS)
+
+    def test_apply_all_fixes_clears_everything(self):
+        res = Migrator().migrate(
+            _model(virtual_function=1, device_new_delete=1,
+                   cuda_event_timing=2))
+        res.apply_all_fixes()
+        assert res.runs_without_errors()
+        assert res.unresolved_warnings() == 0
+
+    def test_clean_app_runs_immediately(self):
+        assert Migrator().migrate(_model()).runs_without_errors()
+
+
+class TestMigratorConfig:
+    def test_invalid_auto_rate(self):
+        with pytest.raises(MigrationError):
+            Migrator(auto_rate=0.0)
+        with pytest.raises(MigrationError):
+            Migrator(auto_rate=1.5)
+
+    def test_auto_rate_recorded(self):
+        res = Migrator(auto_rate=0.9).migrate(_model())
+        assert res.auto_migrated_fraction == 0.9
+
+
+class TestSuiteReport:
+    def test_aggregates(self):
+        results = [Migrator().migrate(_model(cuda_event_timing=i + 1))
+                   for i in range(3)]
+        report = build_report(results)
+        assert report.total_loc == 1500
+        assert report.total_warnings == 6
+        assert report.fraction_running() == 1.0
+
+    def test_render_contains_key_numbers(self):
+        report = build_report([Migrator().migrate(_model(cuda_event_timing=2))])
+        text = report.render()
+        assert "500" in text and "time_measurement" in text
+
+    def test_most_frequent_categories(self):
+        res = Migrator().migrate(
+            _model(cuda_event_timing=9, usm_mem_advise=1))
+        report = build_report([res])
+        assert report.most_frequent_categories(1) == [WarningCategory.TIME_MEASUREMENT]
+
+
+class TestPaperSuiteNumbers:
+    """The §3.2.1 statistics over the modeled Altis code base."""
+
+    def test_suite_totals(self):
+        from repro.altis.registry import suite_source_models
+
+        report = build_report([Migrator().migrate(sm)
+                               for sm in suite_source_models()])
+        assert report.total_loc == 40_000        # "roughly 40 k lines"
+        assert report.total_warnings == 2_535    # "DPCT inserted 2,535 warnings"
+
+    def test_about_seventy_percent_run_before_misc_fixes(self):
+        from repro.altis.registry import suite_source_models
+
+        report = build_report([Migrator().migrate(sm)
+                               for sm in suite_source_models()])
+        assert 0.6 <= report.fraction_running() <= 0.85
+
+    def test_top_warning_categories_match_paper(self):
+        """§3.2.1 names time measurements, USM, and barriers as the most
+        frequent warnings."""
+        from repro.altis.registry import suite_source_models
+
+        report = build_report([Migrator().migrate(sm)
+                               for sm in suite_source_models()])
+        top3 = set(report.most_frequent_categories(3))
+        assert top3 == {WarningCategory.TIME_MEASUREMENT,
+                        WarningCategory.USM_MEM_ADVISE,
+                        WarningCategory.BARRIER_SCOPE}

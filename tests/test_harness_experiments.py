@@ -1,0 +1,213 @@
+"""Tests for the experiment harness: every regenerated figure/table must
+reproduce the paper's *shape* — winners, orderings, crossovers, and
+magnitudes within stated bands."""
+
+import pytest
+
+from repro.altis import SIZES
+from repro.common.utils import geomean
+from repro.harness import (
+    PAPER_FIG1,
+    PAPER_FIG2_OPTIMIZED,
+    PAPER_FIG4,
+    PAPER_FIG5,
+    PAPER_FIG5_GEOMEANS,
+    figure1,
+    figure2,
+    figure4,
+    figure5,
+    figure5_geomeans,
+    migration_report,
+    render_figure1,
+    render_speedup_grid,
+    render_table2,
+    table2,
+    table3,
+)
+from repro.fpga import render_table3
+
+
+@pytest.fixture(scope="module")
+def fig2_opt():
+    return figure2(optimized=True)
+
+
+@pytest.fixture(scope="module")
+def fig2_base():
+    return figure2(optimized=False)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5()
+
+
+class TestFigure1:
+    def test_four_bar_pairs(self):
+        f1 = figure1()
+        assert set(f1) == set(PAPER_FIG1)
+
+    def test_each_bar_within_factor_three_of_paper(self):
+        f1 = figure1()
+        for key, (k, nk) in f1.items():
+            pk, pnk = PAPER_FIG1[key]
+            assert k / pk < 3.2 and pk / k < 3.2
+            assert nk / pnk < 3.2 and pnk / nk < 3.2
+
+    def test_renders(self):
+        text = render_figure1(figure1(), PAPER_FIG1)
+        assert "FDTD2D" in text and "non-kernel" in text
+
+
+class TestFigure2:
+    def test_geomean_matches_paper(self, fig2_opt):
+        """Paper §3.3: optimized geomeans are 1.0x/1.1x/1.3x."""
+        paper_geo = (1.0, 1.1, 1.3)
+        for i in range(3):
+            gm = geomean([row[i] for row in fig2_opt.values()])
+            assert gm == pytest.approx(paper_geo[i], abs=0.25)
+
+    def test_optimized_cells_within_band(self, fig2_opt):
+        for config, row in fig2_opt.items():
+            for m, p in zip(row, PAPER_FIG2_OPTIMIZED[config]):
+                assert m / p < 2.5 and p / m < 2.5, (config, m, p)
+
+    def test_raytracing_dominates(self, fig2_opt):
+        assert max(fig2_opt["Raytracing"]) == max(
+            max(row) for row in fig2_opt.values())
+
+    def test_where_underperforms_everywhere(self, fig2_opt):
+        """Paper: 'only Where underperforms for all input sizes'."""
+        assert all(v < 0.6 for v in fig2_opt["Where"])
+
+    def test_baseline_worse_or_equal_than_optimized(self, fig2_base, fig2_opt):
+        # Raytracing/PF Float baselines legitimately exceed optimized
+        # (the optimization step fixed the *CUDA* side); exclude them.
+        for config in fig2_base:
+            if config in ("Raytracing", "PF Float"):
+                continue
+            for b, o in zip(fig2_base[config], fig2_opt[config]):
+                assert b <= o * 1.2, config
+
+    def test_fdtd2d_baseline_artifact(self, fig2_base):
+        """The missing-sync artifact collapses the baseline ratio and
+        worsens with size."""
+        row = fig2_base["FDTD2D"]
+        assert row[0] > row[1] > row[2]
+        assert row[2] < 0.06
+
+    def test_renders(self, fig2_opt):
+        text = render_speedup_grid("Fig2", fig2_opt, PAPER_FIG2_OPTIMIZED)
+        assert "geomean" in text
+
+
+class TestFigure4:
+    def test_all_speedups_exceed_unity(self, fig4):
+        for config, row in fig4.items():
+            assert all(v > 0.8 for v in row), config
+
+    def test_headline_winners(self, fig4):
+        """KMeans and Mandelbrot dominate Fig. 4 at hundreds-x."""
+        assert fig4["KMeans"][2] > 300
+        assert fig4["Mandelbrot"][2] > 150
+        assert sorted(fig4, key=lambda c: fig4[c][2])[-3:] == sorted(
+            ["KMeans", "Mandelbrot", "PF Float"],
+            key=lambda c: fig4[c][2])
+
+    def test_geomeans_near_paper(self, fig4):
+        """Paper §5.4: geomeans ~10.7x / ~20.7x / ~35.6x."""
+        paper = (10.7, 20.7, 35.6)
+        for i in range(3):
+            gm = geomean([row[i] for row in fig4.values()])
+            assert gm / paper[i] < 1.6 and paper[i] / gm < 1.6
+
+    def test_within_order_of_magnitude_of_paper(self, fig4):
+        for config, row in fig4.items():
+            for m, p in zip(row, PAPER_FIG4[config]):
+                assert m / p < 10 and p / m < 10, (config, m, p)
+
+    def test_no_dwt2d_column(self, fig4):
+        assert "DWT2D" not in fig4
+
+
+class TestFigure5:
+    def test_where_size3_absent_on_agilex(self, fig5):
+        assert fig5["agilex"]["Where"][2] is None
+        assert fig5["agilex"]["Where"][0] is not None
+
+    def test_fpga_beats_gpus_on_kmeans_small(self, fig5):
+        """Paper: at sizes 1-2 KMeans on Stratix 10 is comparable or
+        superior to the RTX 2080 and even the A100."""
+        assert fig5["stratix10"]["KMeans"][0] > fig5["rtx2080"]["KMeans"][0]
+        assert fig5["stratix10"]["KMeans"][0] > fig5["a100"]["KMeans"][0]
+
+    def test_gpus_win_kmeans_at_size3(self, fig5):
+        assert fig5["a100"]["KMeans"][2] > fig5["stratix10"]["KMeans"][2]
+
+    def test_cfd_fpga_below_cpu(self, fig5):
+        for size_idx in range(3):
+            assert fig5["stratix10"]["CFD FP32"][size_idx] < 2.5
+
+    def test_fpga_advantage_diminishes_at_size3(self, fig5):
+        """§5.4: 'at the larger size 3, the advantage of the Stratix 10
+        diminishes' — its geomean drops from sizes 1-2 to 3."""
+        gm = figure5_geomeans(fig5)
+        assert gm["stratix10"][2] < gm["stratix10"][0]
+
+    def test_geomeans_within_band_of_paper(self, fig5):
+        """FPGA geomeans track the paper closely; GPU-vs-CPU ratios are
+        over-modeled at small sizes (see EXPERIMENTS.md), so GPUs get a
+        wider band."""
+        gm = figure5_geomeans(fig5)
+        for dev, means in gm.items():
+            band = 2.5 if dev in ("stratix10", "agilex") else 6.0
+            for m, p in zip(means, PAPER_FIG5_GEOMEANS[dev]):
+                assert m / p < band and p / m < band, (dev, m, p)
+
+    def test_fpga_geomeans_track_paper_closely(self, fig5):
+        gm = figure5_geomeans(fig5)
+        for dev in ("stratix10", "agilex"):
+            for m, p in zip(gm[dev], PAPER_FIG5_GEOMEANS[dev]):
+                assert m / p < 1.7 and p / m < 1.7, (dev, m, p)
+
+    def test_nw_fpga_half_of_cpu(self, fig5):
+        """§5.4: at sizes 2-3, NW exhibits about half the CPU's
+        performance on the Stratix 10."""
+        assert fig5["stratix10"]["NW"][1] < 1.0
+        assert fig5["stratix10"]["NW"][2] < 1.0
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = table2()
+        assert len(rows) == 6
+        assert render_table2(rows).count("\n") >= 7
+
+    def test_table3_builds_all_designs(self):
+        rows = table3()
+        # 11 Fig4 configs + 2 extra Mandelbrot size rows
+        assert len(rows) == 14
+        for row in rows:
+            assert row.stratix10.resources.fits()
+            assert row.agilex.resources.fits()
+
+    def test_table3_agilex_clocks_higher(self):
+        for row in table3():
+            assert row.agilex.fmax_mhz > row.stratix10.fmax_mhz
+
+    def test_table3_renders(self):
+        text = render_table3(table3())
+        assert "Mandelbrot (size 2)" in text
+        assert "933,120" in text
+
+
+class TestMigrationReport:
+    def test_paper_totals(self):
+        report = migration_report()
+        assert report.total_loc == 40_000
+        assert report.total_warnings == 2_535

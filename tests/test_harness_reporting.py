@@ -1,0 +1,83 @@
+"""Unit tests for the report renderers and the functional runner."""
+
+import pytest
+
+from repro.altis import Variant
+from repro.harness.reporting import (
+    compare_ratio,
+    render_figure1,
+    render_speedup_grid,
+    render_table2,
+)
+from repro.harness.runner import run_functional
+
+
+class TestCompareRatio:
+    def test_formats_factor(self):
+        assert compare_ratio(2.0, 1.0).strip() == "2.00x"
+
+    def test_handles_missing_paper_value(self):
+        assert compare_ratio(2.0, None) == "--"
+        assert compare_ratio(2.0, 0.0) == "--"
+
+
+class TestSpeedupGrid:
+    def test_without_paper_column(self):
+        text = render_speedup_grid("T", {"A": (1.0, 2.0, 3.0)})
+        assert "A" in text and "geomean" in text
+        assert "paper" not in text
+
+    def test_with_paper_column_and_ratios(self):
+        text = render_speedup_grid("T", {"A": (2.0, 2.0, 2.0)},
+                                   {"A": (1.0, 2.0, 4.0)})
+        assert "2.00x" in text and "0.50x" in text
+
+    def test_none_cells_rendered_as_dashes(self):
+        text = render_speedup_grid("T", {"A": (1.0, None, 3.0)},
+                                   {"A": (1.0, None, 3.0)})
+        assert "--" in text
+
+    def test_geomean_skips_none(self):
+        text = render_speedup_grid("T", {"A": (4.0, None, 4.0),
+                                         "B": (1.0, None, 1.0)})
+        assert "2.00" in text  # geomean(4,1) = 2
+
+
+class TestFigure1Render:
+    def test_orders_and_labels(self):
+        model = {(1, "cuda"): (1.0, 0.5), (1, "sycl"): (1.0, 2.0),
+                 (3, "cuda"): (500.0, 10.0), (3, "sycl"): (400.0, 150.0)}
+        text = render_figure1(model, {})
+        lines = text.splitlines()
+        assert any("size 1 cuda" in ln for ln in lines)
+        assert any("size 3 sycl" in ln for ln in lines)
+
+
+class TestTable2Render:
+    def test_contains_all_devices(self):
+        from repro.harness import table2
+
+        text = render_table2(table2())
+        for name in ("Xeon", "RTX 2080", "A100", "Max 1100", "Stratix",
+                     "Agilex"):
+            assert name in text
+
+
+class TestRunner:
+    def test_custom_scale_honoured(self):
+        r = run_functional("Mandelbrot", scale=0.005)
+        assert r.workload.params["width"] <= 48
+
+    def test_fpga_variant_runs(self):
+        r = run_functional("Mandelbrot", device_key="stratix10",
+                           variant=Variant.FPGA_OPT, scale=0.01)
+        assert r.verified
+
+    def test_result_carries_modeled_times(self):
+        r = run_functional("Where")
+        assert 0 < r.modeled_kernel_s <= r.modeled_total_s
+
+    def test_cuda_variant_raytracing_skips_verification(self):
+        # different RNG stream: not comparable, but must still run
+        r = run_functional("Raytracing", variant=Variant.CUDA, scale=0.02)
+        assert r.verified

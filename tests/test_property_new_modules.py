@@ -1,0 +1,130 @@
+"""Property-based tests for the harness additions (ResultDB statistics,
+HyperQ scheduler invariants, Level-1 algorithm invariants)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.resultdb import Result, ResultDB
+from repro.perfmodel import KernelProfile
+from repro.sycl import KernelSpec, Range
+from repro.sycl.streams import OutOfOrderQueue
+
+
+# -- ResultDB statistics -------------------------------------------------------
+
+values_strategy = st.lists(st.floats(-1e6, 1e6, allow_nan=False,
+                                     allow_infinity=False),
+                           min_size=1, max_size=50)
+
+
+@given(values_strategy)
+def test_result_stats_bounds(values):
+    r = Result(test="t", attribute="a", unit="s", values=list(values))
+    eps = 1e-9 * max(1.0, abs(r.min), abs(r.max))  # fp summation slack
+    assert r.min <= r.median <= r.max
+    assert r.min - eps <= r.mean <= r.max + eps
+    assert r.stddev >= 0
+
+
+@given(values_strategy)
+def test_result_json_roundtrip(values):
+    db = ResultDB()
+    for v in values:
+        db.add_result("t", "a", "s", v)
+    restored = ResultDB.from_json(db.to_json())
+    np.testing.assert_allclose(restored.get("t", "a").values, list(values))
+
+
+@given(st.floats(-1e3, 1e3, allow_nan=False))
+def test_single_value_result_degenerate_stats(v):
+    r = Result(test="t", attribute="a", unit="s", values=[v])
+    assert r.min == r.max == r.mean == r.median == v
+    assert r.stddev == 0.0
+
+
+# -- HyperQ scheduler ----------------------------------------------------------
+
+def _noop():
+    return KernelSpec(name="noop", vector_fn=lambda nd, *a: None)
+
+
+@given(st.lists(st.integers(1, 16), min_size=1, max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_concurrent_span_never_exceeds_serial(eighths):
+    """Overlap can only help: makespan <= serial sum, and >= the longest
+    single kernel."""
+    q = OutOfOrderQueue("rtx2080")
+    capacity = 46 * 1024
+    for i, e in enumerate(eighths):
+        prof = KernelProfile(name=f"k{i}", flops=1e7 * e, global_bytes=1e4,
+                             work_items=max(1, capacity * e // 16))
+        q.parallel_for(Range(64), _noop(), profile=prof)
+    span = q.concurrent_span_s()
+    serial = q.serial_span_s()
+    longest = max(n.duration_s for n in q._schedule)
+    assert span <= serial * (1 + 1e-9)
+    assert span >= longest * (1 - 1e-9)
+
+
+@given(st.integers(2, 8))
+@settings(max_examples=10, deadline=None)
+def test_full_chain_equals_serial(n):
+    """A dependency chain admits no overlap at all."""
+    q = OutOfOrderQueue("rtx2080")
+    prev = None
+    for i in range(n):
+        prof = KernelProfile(name=f"k{i}", flops=1e7, global_bytes=1e4,
+                             work_items=128)
+        deps = [prev] if prev is not None else None
+        prev = q.parallel_for(Range(64), _noop(), profile=prof,
+                              depends_on=deps)
+    assert q.concurrent_span_s() == q.serial_span_s()
+
+
+# -- Level-1 invariants ----------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1), st.integers(16, 128))
+@settings(max_examples=10, deadline=None)
+def test_sort_is_permutation(seed, n):
+    from repro.altis.level1 import Sort
+    from repro.sycl import Queue
+
+    s = Sort()
+    w = s.generate(n=n, seed=seed)
+    out = s.run_sycl(Queue("rtx2080"), w)
+    assert (np.diff(out.astype(np.int64)) >= 0).all()
+    np.testing.assert_array_equal(np.sort(w["keys"]), out)
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_bfs_depths_are_valid(seed):
+    """Every edge relaxes: depth[v] <= depth[u] + 1 for reachable u->v."""
+    from repro.altis.level1 import Bfs
+    from repro.sycl import Queue
+
+    b = Bfs()
+    w = b.generate(n=64, seed=seed)
+    depth = b.run_sycl(Queue("rtx2080"), w)
+    for u in range(w["n"]):
+        if depth[u] < 0:
+            continue
+        for e in range(w["row_ptr"][u], w["row_ptr"][u + 1]):
+            v = int(w["col_idx"][e])
+            assert 0 <= depth[v] <= depth[u] + 1
+
+
+@given(st.integers(0, 2**31 - 1), st.integers(4, 24))
+@settings(max_examples=10, deadline=None)
+def test_pathfinder_lower_bound(seed, rows):
+    """The DP result is at least the column-wise minimum path bound."""
+    from repro.altis.level1 import Pathfinder
+    from repro.sycl import Queue
+
+    p = Pathfinder()
+    w = p.generate(rows=rows, cols=32, seed=seed)
+    out = p.run_sycl(Queue("rtx2080"), w)
+    # any path sums `rows` cells, each at least the global min cell
+    assert (out >= rows * w["grid"].min()).all()
+    np.testing.assert_array_equal(out, p.reference(w))

@@ -1,0 +1,69 @@
+"""Unit tests for grid-level synchronization (the Altis §2.2 feature)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import KernelLaunchError
+from repro.sycl import KernelSpec, NdRange, Range
+from repro.sycl.executor import run_grid_synchronized
+
+
+class TestGridSync:
+    def test_cross_group_visibility(self):
+        """Phase 2 reads a value written by a *different group* in
+        phase 1 — only correct under grid-wide synchronization."""
+        n_groups, local = 4, 4
+        n = n_groups * local
+        stage = np.zeros(n, dtype=np.int64)
+        out = np.zeros(n, dtype=np.int64)
+
+        def body(item, stage, out):
+            gid = item.get_global_linear_id()
+            stage[gid] = gid * 10
+            yield item.barrier()
+            # read the mirror element — lives in another work-group
+            out[gid] = stage[n - 1 - gid]
+
+        k = KernelSpec(name="mirror", item_fn=body)
+        stats = run_grid_synchronized(k, NdRange(Range(n), Range(local)),
+                                      (stage, out))
+        np.testing.assert_array_equal(out, (n - 1 - np.arange(n)) * 10)
+        assert stats.barrier_phases == 1
+        assert stats.groups == n_groups
+
+    def test_grid_reduction(self):
+        """Tree reduction across the whole grid, one barrier per level."""
+        n = 16
+        data = np.arange(1, n + 1, dtype=np.int64)
+
+        def body(item, data):
+            gid = item.get_global_linear_id()
+            stride = n // 2
+            while stride >= 1:
+                if gid < stride:
+                    data[gid] += data[gid + stride]
+                yield item.barrier()
+                stride //= 2
+
+        k = KernelSpec(name="reduce", item_fn=body)
+        run_grid_synchronized(k, NdRange(Range(n), Range(4)), (data,))
+        assert data[0] == n * (n + 1) // 2
+
+    def test_requires_generator_kernel(self):
+        k = KernelSpec(name="plain", item_fn=lambda item: None)
+        with pytest.raises(KernelLaunchError, match="never synchronizes"):
+            run_grid_synchronized(k, NdRange(Range(4), Range(2)), ())
+
+    def test_requires_item_fn(self):
+        k = KernelSpec(name="vec", vector_fn=lambda nd, *a: None)
+        with pytest.raises(KernelLaunchError):
+            run_grid_synchronized(k, NdRange(Range(4), Range(2)), ())
+
+    def test_divergent_grid_barrier_detected(self):
+        def body(item):
+            if item.get_global_linear_id() == 0:
+                yield item.barrier()
+
+        k = KernelSpec(name="div", item_fn=body)
+        with pytest.raises(KernelLaunchError, match="divergent grid barrier"):
+            run_grid_synchronized(k, NdRange(Range(4), Range(2)), ())

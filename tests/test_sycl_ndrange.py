@@ -1,0 +1,129 @@
+"""Unit tests for SYCL index-space types."""
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.sycl.ndrange import (
+    BarrierToken,
+    FenceSpace,
+    Group,
+    Id,
+    NdItem,
+    NdRange,
+    Range,
+    linear_index,
+)
+
+
+class TestRange:
+    def test_1d(self):
+        r = Range(8)
+        assert r.ndim == 1 and r.size() == 8
+
+    def test_3d_size(self):
+        assert Range(2, 3, 4).size() == 24
+
+    def test_from_tuple(self):
+        assert Range((4, 4)) == Range(4, 4)
+
+    def test_too_many_dims(self):
+        with pytest.raises(InvalidParameterError):
+            Range(1, 2, 3, 4)
+
+    def test_negative_extent(self):
+        with pytest.raises(InvalidParameterError):
+            Range(-1)
+
+    def test_equality_with_tuple(self):
+        assert Range(2, 3) == (2, 3)
+
+    def test_iteration(self):
+        assert list(Range(5, 6)) == [5, 6]
+
+
+class TestId:
+    def test_int_conversion_1d(self):
+        assert int(Id(7)) == 7
+
+    def test_int_conversion_rejects_multi_dim(self):
+        with pytest.raises(InvalidParameterError):
+            int(Id(1, 2))
+
+    def test_index_protocol(self):
+        data = list(range(10))
+        assert data[Id(3)] == 3
+
+    def test_equality(self):
+        assert Id(4) == 4
+        assert Id(1, 2) == (1, 2)
+
+
+class TestLinearIndex:
+    def test_row_major(self):
+        # last dimension fastest, as SYCL defines
+        assert linear_index((1, 2), (4, 8)) == 10
+        assert linear_index((0, 0, 5), (2, 3, 6)) == 5
+        assert linear_index((1, 0, 0), (2, 3, 6)) == 18
+
+
+class TestNdRange:
+    def test_group_decomposition(self):
+        nd = NdRange(Range(64, 32), Range(8, 16))
+        assert nd.group_range() == (8, 2)
+        assert nd.num_groups() == 16
+        assert nd.group_size() == 128
+        assert nd.total_items() == 2048
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            NdRange(Range(10), Range(4))
+
+    def test_zero_local_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NdRange(Range(8), Range(0))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            NdRange(Range(8, 8), Range(8))
+
+    def test_accepts_raw_tuples(self):
+        nd = NdRange((16,), (4,))
+        assert nd.num_groups() == 4
+
+
+class TestNdItem:
+    def _item(self):
+        nd = NdRange(Range(8, 8), Range(2, 4))
+        group = Group((1, 0), nd)
+        return NdItem((3, 2), (1, 2), group)
+
+    def test_global_queries(self):
+        item = self._item()
+        assert item.get_global_id(0) == 3
+        assert item.get_global_id(1) == 2
+        assert item.get_global_linear_id() == 3 * 8 + 2
+
+    def test_local_queries(self):
+        item = self._item()
+        assert item.get_local_id(0) == 1
+        assert item.get_local_linear_id() == 1 * 4 + 2
+
+    def test_group_queries(self):
+        item = self._item()
+        assert item.get_group(0) == 1
+        assert item.get_group_range(0) == 4
+        assert item.get_local_range(1) == 4
+
+    def test_barrier_returns_token(self):
+        token = self._item().barrier(FenceSpace.LOCAL)
+        assert isinstance(token, BarrierToken)
+        assert token.fence_space is FenceSpace.LOCAL
+
+    def test_barrier_default_scope(self):
+        assert self._item().barrier().fence_space is FenceSpace.GLOBAL_AND_LOCAL
+
+
+class TestGroup:
+    def test_linear_id(self):
+        nd = NdRange(Range(8, 8), Range(2, 4))
+        assert Group((3, 1), nd).get_group_linear_id() == 3 * 2 + 1

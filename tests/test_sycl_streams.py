@@ -1,0 +1,105 @@
+"""Unit tests for HyperQ-style out-of-order execution modeling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.perfmodel import KernelProfile
+from repro.sycl import KernelSpec, NdRange, Range
+from repro.sycl.streams import OutOfOrderQueue, hyperq_speedup
+
+
+def _noop():
+    return KernelSpec(name="noop", vector_fn=lambda nd, *a: None)
+
+
+def _small_profile(name="k"):
+    """A kernel that fills ~1/8 of the RTX 2080 (HyperQ candidate)."""
+    return KernelProfile(name=name, flops=5e7, global_bytes=1e5,
+                         work_items=46 * 1024 // 8)
+
+
+def _big_profile(name="k"):
+    return KernelProfile(name=name, flops=5e8, global_bytes=1e6,
+                         work_items=46 * 1024 * 4)
+
+
+class TestDependencies:
+    def test_foreign_event_rejected(self):
+        q1 = OutOfOrderQueue("rtx2080")
+        q2 = OutOfOrderQueue("rtx2080")
+        ev = q1.parallel_for(Range(64), _noop())
+        with pytest.raises(InvalidParameterError):
+            q2.parallel_for(Range(64), _noop(), depends_on=[ev])
+
+    def test_dependent_kernels_serialize(self):
+        q = OutOfOrderQueue("rtx2080")
+        e1 = q.parallel_for(Range(64), _noop(), profile=_small_profile("a"))
+        q.parallel_for(Range(64), _noop(), profile=_small_profile("b"),
+                       depends_on=[e1])
+        # a chain cannot beat the serial sum
+        assert q.concurrent_span_s() == pytest.approx(q.serial_span_s())
+
+    def test_functional_result_unaffected(self):
+        out = np.zeros(32)
+
+        def fill(nd, out, v):
+            out += v
+
+        k = KernelSpec(name="fill", vector_fn=fill)
+        q = OutOfOrderQueue("rtx2080")
+        e1 = q.parallel_for(Range(32), k, out, 1.0)
+        q.parallel_for(Range(32), k, out, 2.0, depends_on=[e1])
+        assert (out == 3.0).all()
+
+
+class TestHyperQOverlap:
+    def test_independent_small_kernels_overlap(self):
+        """Eight 1/8-device kernels co-schedule: the HyperQ win."""
+        q = OutOfOrderQueue("rtx2080")
+        for i in range(8):
+            q.parallel_for(Range(64), _noop(), profile=_small_profile(f"k{i}"))
+        speedup = hyperq_speedup(q)
+        assert speedup > 4.0
+
+    def test_device_filling_kernels_serialize(self):
+        q = OutOfOrderQueue("rtx2080")
+        for i in range(4):
+            q.parallel_for(Range(64), _noop(), profile=_big_profile(f"k{i}"))
+        assert hyperq_speedup(q) == pytest.approx(1.0, rel=0.05)
+
+    def test_mixed_dag(self):
+        """fan-out -> join: the join waits for both branches."""
+        q = OutOfOrderQueue("rtx2080")
+        root = q.parallel_for(Range(64), _noop(), profile=_small_profile("r"))
+        b1 = q.parallel_for(Range(64), _noop(), profile=_small_profile("b1"),
+                            depends_on=[root])
+        b2 = q.parallel_for(Range(64), _noop(), profile=_small_profile("b2"),
+                            depends_on=[root])
+        q.parallel_for(Range(64), _noop(), profile=_small_profile("j"),
+                       depends_on=[b1, b2])
+        span = q.concurrent_span_s()
+        serial = q.serial_span_s()
+        # branches overlap: 3 serial steps instead of 4
+        assert span == pytest.approx(serial * 3 / 4, rel=0.05)
+
+    def test_single_task_participates(self):
+        q = OutOfOrderQueue("rtx2080")
+        st = KernelSpec(name="st", kind="single_task",
+                        vector_fn=lambda *a: None)
+        ev = q.single_task(st, profile=_small_profile("st"))
+        q.parallel_for(Range(64), _noop(), profile=_small_profile("p"),
+                       depends_on=[ev])
+        assert q.concurrent_span_s() > 0
+
+    def test_empty_queue_speedup_is_one(self):
+        assert hyperq_speedup(OutOfOrderQueue("rtx2080")) == 1.0
+
+    def test_overlap_bounded_by_occupancy(self):
+        """Two 0.6-occupancy kernels cannot co-schedule."""
+        q = OutOfOrderQueue("rtx2080")
+        prof = KernelProfile(name="k", flops=1e8, global_bytes=1e5,
+                             work_items=int(46 * 1024 * 0.6))
+        q.parallel_for(Range(64), _noop(), profile=prof)
+        q.parallel_for(Range(64), _noop(), profile=prof.with_(name="k2"))
+        assert hyperq_speedup(q) == pytest.approx(1.0, rel=0.05)

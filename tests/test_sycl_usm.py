@@ -1,0 +1,83 @@
+"""Unit tests for the USM model, including the paper's FPGA behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FeatureNotSupportedError, InvalidParameterError
+from repro.sycl import (
+    MemAdvice,
+    UsmKind,
+    device,
+    free,
+    malloc_device,
+    malloc_host,
+    malloc_shared,
+    mem_advise,
+)
+
+
+class TestAllocation:
+    def test_device_alloc(self):
+        ptr = malloc_device(16, np.float32, device("rtx2080"))
+        assert len(ptr) == 16
+        assert ptr.kind is UsmKind.DEVICE
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            malloc_device(0, np.float32, device("rtx2080"))
+
+    def test_host_alloc_on_gpu(self):
+        assert malloc_host(8, np.int32, device("a100")) is not None
+
+    def test_host_alloc_on_fpga_returns_none(self):
+        """Paper §3.2.1: sycl::malloc_host queries on Stratix 10 and
+        Agilex always return nullptr."""
+        assert malloc_host(8, np.int32, device("stratix10")) is None
+        assert malloc_host(8, np.int32, device("agilex")) is None
+
+    def test_shared_alloc_on_fpga_returns_none(self):
+        assert malloc_shared(8, np.int32, device("stratix10")) is None
+
+    def test_shared_alloc_on_cpu(self):
+        assert malloc_shared(8, np.float64, device("xeon6128")) is not None
+
+
+class TestLifetime:
+    def test_use_after_free(self):
+        ptr = malloc_device(4, np.float32, device("rtx2080"))
+        free(ptr)
+        with pytest.raises(InvalidParameterError):
+            _ = ptr[0]
+
+    def test_double_free(self):
+        ptr = malloc_device(4, np.float32, device("rtx2080"))
+        free(ptr)
+        with pytest.raises(InvalidParameterError):
+            free(ptr)
+
+    def test_read_write(self):
+        ptr = malloc_device(4, np.float32, device("rtx2080"))
+        ptr[2] = 5.0
+        assert ptr[2] == 5.0
+        assert ptr.array().shape == (4,)
+
+
+class TestMemAdvise:
+    def test_gpu_accepts_cuda_advice(self):
+        dev = device("rtx2080")
+        ptr = malloc_shared(8, np.float32, dev)
+        mem_advise(ptr, MemAdvice.READ_MOSTLY, dev)  # no raise
+
+    def test_cpu_accepts_only_reset(self):
+        """Advice values are device-dependent — DPCT's warning (§3.2.1)."""
+        dev = device("xeon6128")
+        ptr = malloc_shared(8, np.float32, dev)
+        mem_advise(ptr, MemAdvice.DEFAULT, dev)
+        with pytest.raises(FeatureNotSupportedError):
+            mem_advise(ptr, MemAdvice.READ_MOSTLY, dev)
+
+    def test_requires_shared_allocation(self):
+        dev = device("rtx2080")
+        ptr = malloc_device(8, np.float32, dev)
+        with pytest.raises(InvalidParameterError):
+            mem_advise(ptr, MemAdvice.DEFAULT, dev)
