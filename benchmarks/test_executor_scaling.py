@@ -1,0 +1,136 @@
+"""Perf smoke benchmark for the batched execution engine.
+
+Run via ``PYTHONPATH=src python -m pytest -q benchmarks/test_executor_scaling.py``.
+
+Measures and records to ``BENCH_executor.json`` (repo root):
+
+* executor throughput (work-items/s) on the canonical barrier workload
+  — the NW blocked wavefront under ``force_item=True`` — for the strict
+  per-item path and the group-vectorized path the executor now prefers.
+  Asserts the >= 3x acceptance speedup of the decomposed executor;
+* cold vs warm figure-sweep rebuild (Figs. 2/4/5 through a fresh
+  :class:`FigureCache`), asserting the >= 3x warm-rebuild speedup with
+  byte-identical values.
+
+Plain ``time.perf_counter`` timing, so the smoke run works even where
+pytest-benchmark is absent.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _nw_wavefront(mode: str | None, scale: float = 0.02):
+    """Run the full NW blocked wavefront; returns (seconds, items)."""
+    from repro.altis.nw import NW, _similarity
+    from repro.sycl import NdRange, Range
+    from repro.sycl.executor import run_nd_range
+
+    app = NW()
+    wl = app.generate(1, scale=scale)
+    p = wl.params
+    n, block, penalty = p["n"], p["block"], p["penalty"]
+    nb = n // block
+    sim = _similarity(wl["seq_a"], wl["seq_b"], wl["blosum"]).astype(np.int32)
+    kern = app.kernels()["needle_block"]
+    score = wl["score"]
+    score[0, :] = -penalty * np.arange(n + 1)
+    score[:, 0] = -penalty * np.arange(n + 1)
+    items = 0
+    t0 = time.perf_counter()
+    for d in range(2 * nb - 1):
+        blocks = (d + 1) if d < nb else (2 * nb - 1 - d)
+        stats = run_nd_range(kern, NdRange(Range(blocks * block), Range(block)),
+                             (score, sim, penalty, d, nb, n, block),
+                             force_item=True, mode=mode)
+        items += stats.items
+    elapsed = time.perf_counter() - t0
+    expected = app.reference(wl)["score"]
+    np.testing.assert_array_equal(score, expected)
+    return elapsed, items
+
+
+def test_nw_wavefront_group_vs_item_speedup():
+    """force_item now routes through group_fn: >= 3x over the strict
+    per-item path (which itself is no slower than the seed's — the seed
+    had no lattice memoization)."""
+    # warm both paths once (populates the lru lattice caches)
+    _nw_wavefront("item", scale=0.008)
+    _nw_wavefront("group", scale=0.008)
+
+    item_s, items = _nw_wavefront("item")
+    group_s, group_items = _nw_wavefront("group")
+    auto_s, _ = _nw_wavefront(None)  # force_item auto-selection
+    assert group_items == items
+    speedup = item_s / group_s
+    _record("nw_wavefront", {
+        "workload": "NW blocked wavefront, force_item=True, scale=0.02",
+        "items": items,
+        "item_path_s": round(item_s, 6),
+        "item_path_items_per_s": round(items / item_s),
+        "group_path_s": round(group_s, 6),
+        "group_path_items_per_s": round(items / group_s),
+        "auto_path_s": round(auto_s, 6),
+        "speedup_group_over_item": round(speedup, 2),
+    })
+    assert speedup >= 3.0, (
+        f"group path only {speedup:.2f}x over per-item on the NW wavefront")
+    # the auto selection under force_item must take the fast path
+    assert auto_s <= item_s
+
+
+def test_figure_sweep_warm_cache_speedup(tmp_path):
+    """Figs. 2/4/5 rebuild: warm cache >= 3x faster, byte-identical."""
+    from repro.harness import experiments
+    from repro.harness.resultdb import FigureCache, _encode
+
+    experiments.clear_experiment_caches()
+    cache = FigureCache(tmp_path)
+
+    t0 = time.perf_counter()
+    cold = {
+        "fig2": experiments.figure2(True, cache=cache),
+        "fig4": experiments.figure4(cache=cache),
+        "fig5": experiments.figure5(cache=cache),
+    }
+    cold_s = time.perf_counter() - t0
+
+    experiments.clear_experiment_caches()  # only the disk cache stays warm
+    t0 = time.perf_counter()
+    warm = {
+        "fig2": experiments.figure2(True, cache=cache),
+        "fig4": experiments.figure4(cache=cache),
+        "fig5": experiments.figure5(cache=cache),
+    }
+    warm_s = time.perf_counter() - t0
+
+    assert cold == warm
+    cold_bytes = json.dumps(_encode(cold), sort_keys=True)
+    warm_bytes = json.dumps(_encode(warm), sort_keys=True)
+    assert cold_bytes == warm_bytes
+    speedup = cold_s / warm_s
+    _record("figure_sweeps", {
+        "figures": ["fig2", "fig4", "fig5"],
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup_warm_over_cold": round(speedup, 2),
+        "byte_identical": cold_bytes == warm_bytes,
+        "cache": cache.stats(),
+    })
+    assert speedup >= 3.0, f"warm figure rebuild only {speedup:.2f}x faster"

@@ -111,6 +111,51 @@ def _block_item(item, score, sim, penalty, diag_idx, nb, n, block):
         score[base_i + tx + 1, base_j + lj + 1] = tile[tx + 1, lj + 1]
 
 
+def _block_group(group, score, sim, penalty, diag_idx, nb, n, block):
+    """Work-group-batched tile processing: one call computes one tile.
+
+    Phase structure matches :func:`_block_item` exactly — one staging
+    barrier plus one barrier per tile anti-diagonal — but the whole
+    group advances as a single generator.  The tile is staged out of the
+    score matrix once and the wavefront runs on native ints (an NW tile
+    diagonal is at most ``block`` cells, far below the length where
+    numpy's per-call overhead amortizes), then written back as one
+    block assignment.
+    """
+    g = group.get_group_id(0)
+    bi = (min(diag_idx, nb - 1) - g) if diag_idx < nb else (nb - 1 - g)
+    bj = diag_idx - bi
+    i0 = bi * block
+    j0 = bj * block
+    tile = group._local_mem.setdefault(
+        "tile",
+        [[0] * (block + 1) for _ in range(block + 1)],
+    )
+    # stage halo row + column (incl. the corner), all work-items at once
+    tile[0] = score[i0, j0:j0 + block + 1].tolist()
+    col = score[i0:i0 + block + 1, j0].tolist()
+    for r in range(1, block + 1):
+        tile[r][0] = col[r]
+    yield group.barrier(FenceSpace.LOCAL)
+    sim_tile = sim[i0:i0 + block, j0:j0 + block].tolist()
+    for d in range(2 * block - 1):
+        for li in range(max(0, d - block + 1), min(block, d + 1)):
+            lj = d - li
+            above, row = tile[li], tile[li + 1]
+            val = above[lj] + sim_tile[li][lj]
+            up = above[lj + 1] - penalty
+            if up > val:
+                val = up
+            left = row[lj] - penalty
+            if left > val:
+                val = left
+            row[lj + 1] = val
+        yield group.barrier(FenceSpace.LOCAL)
+    score[i0 + 1:i0 + block + 1, j0 + 1:j0 + block + 1] = [
+        row[1:] for row in tile[1:]
+    ]
+
+
 def _block_vector(nd_range, score, sim, penalty, diag_idx, nb, n, block):
     """Vectorized tile processing for every block on the diagonal."""
     groups = nd_range.group_range()[0]
@@ -175,6 +220,7 @@ class NW(AltisApp):
             name="needle_block",
             kind=KernelKind.ND_RANGE,
             item_fn=_block_item,
+            group_fn=_block_group,
             vector_fn=_block_vector,
             attributes=KernelAttributes(
                 reqd_work_group_size=(1, 1, BLOCK) if fpga else None,

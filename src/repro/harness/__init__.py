@@ -25,7 +25,14 @@ from .reporting import (
     render_speedup_grid,
     render_table2,
 )
-from .runner import RunResult, run_functional, run_suite_functional
+from .resultdb import FigureCache, Result, ResultDB, code_fingerprint
+from .runner import (
+    RunResult,
+    generate_workload,
+    pool_map,
+    run_functional,
+    run_suite_functional,
+)
 
 __all__ = [
     "PAPER_FIG1",
@@ -51,4 +58,10 @@ __all__ = [
     "RunResult",
     "run_functional",
     "run_suite_functional",
+    "pool_map",
+    "generate_workload",
+    "Result",
+    "ResultDB",
+    "FigureCache",
+    "code_fingerprint",
 ]

@@ -52,6 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("which", nargs="+",
                          choices=["fig1", "fig2", "fig4", "fig5", "table2",
                                   "table3"])
+    figures.add_argument("--workers", type=int, default=None,
+                         help="worker-pool size for the figure sweeps "
+                              "(default: serial)")
+    figures.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent figure cache")
+    figures.add_argument("--cache-dir", default=None,
+                         help="figure-cache directory (default: "
+                              "$REPRO_CACHE_DIR or .repro_cache)")
+
+    suite = sub.add_parser("suite",
+                           help="run the functional verification sweep")
+    suite.add_argument("--device", default="rtx2080",
+                       choices=sorted(DEVICE_SPECS))
+    suite.add_argument("--variant", default="sycl_opt",
+                       choices=[v.value for v in Variant])
+    suite.add_argument("--workers", type=int, default=None)
 
     sub.add_parser("migrate", help="print the §3.2 migration report")
 
@@ -109,21 +125,26 @@ def _cmd_list(_args) -> int:
 
 def _cmd_figures(args) -> int:
     from . import experiments, reporting
+    from .resultdb import FigureCache
 
+    cache = FigureCache(root=args.cache_dir, enabled=not args.no_cache)
+    workers = args.workers
     for which in args.which:
         if which == "fig1":
-            print(reporting.render_figure1(experiments.figure1(),
+            print(reporting.render_figure1(experiments.figure1(cache=cache),
                                            experiments.PAPER_FIG1))
         elif which == "fig2":
             print(reporting.render_speedup_grid(
                 "Figure 2 (optimized SYCL vs CUDA, RTX 2080)",
-                experiments.figure2(True), experiments.PAPER_FIG2_OPTIMIZED))
+                experiments.figure2(True, workers=workers, cache=cache),
+                experiments.PAPER_FIG2_OPTIMIZED))
         elif which == "fig4":
             print(reporting.render_speedup_grid(
                 "Figure 4 (FPGA optimized vs baseline, Stratix 10)",
-                experiments.figure4(), experiments.PAPER_FIG4))
+                experiments.figure4(workers=workers, cache=cache),
+                experiments.PAPER_FIG4))
         elif which == "fig5":
-            fig5 = experiments.figure5()
+            fig5 = experiments.figure5(workers=workers, cache=cache)
             print(reporting.render_figure5(
                 fig5, experiments.PAPER_FIG5,
                 experiments.figure5_geomeans(fig5),
@@ -136,6 +157,18 @@ def _cmd_figures(args) -> int:
             print(render_table3(experiments.table3()))
         print()
     return 0
+
+
+def _cmd_suite(args) -> int:
+    from .runner import run_suite_functional
+
+    results = run_suite_functional(args.device, Variant(args.variant),
+                                   workers=args.workers)
+    for r in results:
+        status = "ok" if r.verified else "FAIL"
+        print(f"{r.config:<14} {status:<5} kernel={r.modeled_kernel_s:.3e}s "
+              f"total={r.modeled_total_s:.3e}s")
+    return 0 if all(r.verified for r in results) else 1
 
 
 def _cmd_migrate(_args) -> int:
@@ -171,6 +204,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "list": _cmd_list,
     "figures": _cmd_figures,
+    "suite": _cmd_suite,
     "migrate": _cmd_migrate,
     "synth": _cmd_synth,
 }

@@ -3,19 +3,45 @@ and verify the result against the numpy reference.
 
 This is the "does the suite actually compute the right thing" driver —
 the performance figures come from :mod:`repro.harness.experiments`.
+
+Two harness-level performance facilities live here because both the
+suite sweep and the figure builders use them:
+
+* :func:`pool_map` — ordered ``concurrent.futures`` fan-out over
+  independent cells (process pool when the function is pickle-safe and
+  ``fork`` is available, thread pool otherwise — numpy releases the GIL
+  on the heavy kernels, so threads still overlap);
+* :func:`generate_workload` — a content-keyed workload memo
+  (``(config, size, seed, scale)``) that returns **deep copies**, since
+  ``run_sycl`` mutates workload arrays in place.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..altis.base import AltisApp, Variant, Workload
 from ..altis.registry import make_app
+from ..common.errors import InvalidParameterError
 from ..sycl import Queue, device
 
-__all__ = ["RunResult", "run_functional", "run_suite_functional"]
+__all__ = [
+    "RunResult",
+    "run_functional",
+    "run_suite_functional",
+    "pool_map",
+    "resolve_pool_mode",
+    "generate_workload",
+    "workload_cache_stats",
+    "clear_workload_cache",
+]
 
 #: per-config functional test scale: small enough for CI, large enough
 #: to exercise real work-group structure
@@ -36,6 +62,119 @@ _TOLERANCES = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Ordered pool fan-out
+# ---------------------------------------------------------------------------
+
+def resolve_pool_mode(fn: Callable, mode: str = "auto") -> str:
+    """Pick ``"process"`` or ``"thread"`` for ``pool_map``.
+
+    ``auto`` selects a process pool only when the function can actually
+    cross a process boundary: a module-level, non-lambda callable (after
+    unwrapping ``functools.partial``) with ``fork`` available.  Anything
+    else — closures, lambdas, bound app methods — runs on threads.
+    """
+    if mode in ("process", "thread"):
+        return mode
+    if mode != "auto":
+        raise InvalidParameterError(
+            f"unknown pool mode {mode!r}; expected auto/process/thread")
+    target = fn
+    while isinstance(target, partial):
+        target = target.func
+    name = getattr(target, "__qualname__", "<lambda>")
+    picklable = (
+        getattr(target, "__module__", None) is not None
+        and "<locals>" not in name
+        and "<lambda>" not in name
+    )
+    if picklable and "fork" in multiprocessing.get_all_start_methods():
+        return "process"
+    return "thread"
+
+
+def pool_map(fn: Callable, items: Sequence | Iterable, *,
+             workers: int | None = None, mode: str = "auto") -> list:
+    """Map ``fn`` over ``items`` with a worker pool, preserving order.
+
+    ``workers=None`` or ``workers <= 1`` runs serially (no pool
+    overhead, exact seed behavior).  Results always come back in input
+    order regardless of completion order — ``Executor.map`` guarantees
+    it — so sweeps stay deterministic under parallelism.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    workers = min(workers, len(items))
+    pool_cls = (ProcessPoolExecutor if resolve_pool_mode(fn, mode) == "process"
+                else ThreadPoolExecutor)
+    with pool_cls(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# ---------------------------------------------------------------------------
+# Workload memo
+# ---------------------------------------------------------------------------
+
+_WORKLOAD_CACHE: OrderedDict[tuple, Workload] = OrderedDict()
+_WORKLOAD_CACHE_MAX = 64
+_workload_cache_hits = 0
+_workload_cache_misses = 0
+
+
+def _copy_workload(workload: Workload) -> Workload:
+    return Workload(
+        app=workload.app,
+        size=workload.size,
+        arrays={k: np.copy(v) for k, v in workload.arrays.items()},
+        params=dict(workload.params),
+    )
+
+
+def generate_workload(config: str, size: int, *, seed: int = 0,
+                      scale: float = 1.0) -> Workload:
+    """Memoized workload generation keyed ``(config, size, seed, scale)``.
+
+    Generation is deterministic in the key, so cached entries are exact.
+    Returned workloads are deep copies — apps mutate arrays in place
+    (NW's score matrix, KMeans' centers), and a shared instance would
+    poison every later cache hit.
+    """
+    global _workload_cache_hits, _workload_cache_misses
+    key = (config, size, seed, float(scale))
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is not None:
+        _WORKLOAD_CACHE.move_to_end(key)
+        _workload_cache_hits += 1
+        return _copy_workload(cached)
+    _workload_cache_misses += 1
+    workload = make_app(config).generate(size, seed=seed, scale=scale)
+    _WORKLOAD_CACHE[key] = _copy_workload(workload)
+    while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
+        _WORKLOAD_CACHE.popitem(last=False)
+    return workload
+
+
+def workload_cache_stats() -> dict:
+    return {
+        "hits": _workload_cache_hits,
+        "misses": _workload_cache_misses,
+        "size": len(_WORKLOAD_CACHE),
+        "max": _WORKLOAD_CACHE_MAX,
+    }
+
+
+def clear_workload_cache() -> None:
+    global _workload_cache_hits, _workload_cache_misses
+    _WORKLOAD_CACHE.clear()
+    _workload_cache_hits = 0
+    _workload_cache_misses = 0
+
+
+# ---------------------------------------------------------------------------
+# Functional runs
+# ---------------------------------------------------------------------------
+
 @dataclass
 class RunResult:
     config: str
@@ -53,7 +192,7 @@ def run_functional(config: str, device_key: str = "rtx2080",
     """Generate -> run -> verify one benchmark configuration."""
     app = make_app(config)
     scale = scale if scale is not None else _DEFAULT_SCALES.get(config, 0.02)
-    workload = app.generate(1, seed=seed, scale=scale)
+    workload = generate_workload(config, 1, seed=seed, scale=scale)
     queue = Queue(device_key)
     result = app.run_sycl(queue, workload, variant)
     if config == "Raytracing" and variant is Variant.CUDA:
@@ -75,6 +214,13 @@ def run_functional(config: str, device_key: str = "rtx2080",
 
 
 def run_suite_functional(device_key: str = "rtx2080",
-                         variant: Variant = Variant.SYCL_OPT) -> list[RunResult]:
-    """Run every configuration once (the 'does it all work' sweep)."""
-    return [run_functional(c, device_key, variant) for c in _DEFAULT_SCALES]
+                         variant: Variant = Variant.SYCL_OPT, *,
+                         workers: int | None = None,
+                         pool_mode: str = "auto") -> list[RunResult]:
+    """Run every configuration once (the 'does it all work' sweep).
+
+    Results are returned in suite (``_DEFAULT_SCALES``) order no matter
+    which worker finishes first.
+    """
+    fn = partial(run_functional, device_key=device_key, variant=variant)
+    return pool_map(fn, list(_DEFAULT_SCALES), workers=workers, mode=pool_mode)

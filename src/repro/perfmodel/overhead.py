@@ -17,6 +17,7 @@ reported separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .spec import DeviceKind, DeviceSpec
 
@@ -81,7 +82,10 @@ _TABLE: dict[tuple[str, DeviceKind], dict] = {
 }
 
 
+@lru_cache(maxsize=64)
 def overheads_for(runtime: str, spec: DeviceSpec) -> RuntimeOverheads:
+    # Called once per figure cell; both argument types and the returned
+    # dataclass are frozen, so the memoized instances are safely shared.
     key = (runtime, spec.kind)
     if key not in _TABLE:
         raise KeyError(f"no overhead model for runtime={runtime!r} on {spec.kind}")

@@ -22,12 +22,19 @@ from .device import (
     select_device,
 )
 from .event import CommandKind, Event, ProfilingInfo
-from .executor import ExecutionStats, run_nd_range, run_single_task, validate_launch
+from .executor import (
+    ExecutionStats,
+    clear_execution_caches,
+    execution_cache_info,
+    run_nd_range,
+    run_single_task,
+    validate_launch,
+)
 from .kernel import KernelAttributes, KernelKind, KernelSpec, LoopSpec
 from .local_memory import group_local_memory_for_overwrite
 from .ndrange import BarrierToken, FenceSpace, Group, Id, NdItem, NdRange, Range
 from .pipes import DataflowGraph, Pipe, PipeBlocked
-from .queue import Handler, Queue, SpecTiming, TimelineEntry
+from .queue import Handler, LaunchCounters, Queue, SpecTiming, TimelineEntry
 from .streams import OutOfOrderQueue, hyperq_speedup
 from .usm import (
     MemAdvice,
@@ -68,6 +75,8 @@ __all__ = [
     "run_nd_range",
     "run_single_task",
     "validate_launch",
+    "execution_cache_info",
+    "clear_execution_caches",
     # kernels
     "KernelSpec",
     "KernelKind",
@@ -90,6 +99,7 @@ __all__ = [
     "Handler",
     "SpecTiming",
     "TimelineEntry",
+    "LaunchCounters",
     "OutOfOrderQueue",
     "hyperq_speedup",
     # local memory

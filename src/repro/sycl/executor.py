@@ -1,15 +1,30 @@
 """Functional execution of SYCL kernels.
 
-Two execution paths:
+Three execution paths, fastest first:
 
 * **vectorized** — the kernel's ``vector_fn`` is invoked once for the
   whole range (numpy fast path, the idiomatic HPC-Python form);
+* **group-vectorized** — the kernel's ``group_fn`` is invoked once per
+  work-group with the :class:`~repro.sycl.ndrange.Group` as its index
+  argument.  A generator ``group_fn`` yields ``group.barrier(...)``
+  between phases, each phase vectorized over the whole group — the
+  phase-by-phase barrier contract of the per-item path at a fraction of
+  the interpreter cost;
 * **per-item** — the kernel's ``item_fn`` is run for every work-item.
   Kernels that synchronize are generator functions; the executor runs all
   items of a work-group *phase by phase*: it advances every generator to
   its next ``yield item.barrier(...)`` before any generator continues.
   This is exactly the SIMT barrier contract — every work-item of the
   group reaches barrier *k* before any proceeds past it.
+
+Two performance layers keep the decomposed paths cheap:
+
+* index-point grids and the per-group (global id, local id) lattices are
+  memoized per ``(global_range, local_range)`` with ``lru_cache``
+  (immutable tuples only, so concurrent launches from a harness worker
+  pool can share them safely);
+* all barrier-phase scheduling — work-group and grid scope — runs
+  through one deque-based phase engine that never rebuilds a live list.
 
 The executor validates work-group limits against kernel attributes,
 reproducing the runtime errors the paper hit when Altis' default
@@ -20,30 +35,46 @@ from __future__ import annotations
 
 import inspect
 import itertools
-from typing import Sequence
+from collections import deque
+from functools import lru_cache
+from typing import Iterable, Sequence
 
 from ..common.errors import KernelLaunchError
 from .buffer import LocalAccessor
 from .kernel import KernelSpec
 from .ndrange import BarrierToken, Group, NdItem, NdRange
 
-__all__ = ["validate_launch", "run_nd_range", "run_single_task", "ExecutionStats"]
+__all__ = [
+    "validate_launch",
+    "run_nd_range",
+    "run_grid_synchronized",
+    "run_single_task",
+    "ExecutionStats",
+    "execution_cache_info",
+    "clear_execution_caches",
+]
 
 
 class ExecutionStats:
     """Counters the executor produces for one launch (functional layer)."""
 
-    __slots__ = ("groups", "items", "barrier_phases")
+    __slots__ = ("groups", "items", "barrier_phases", "path", "gen_advances")
 
     def __init__(self) -> None:
         self.groups = 0
         self.items = 0
         self.barrier_phases = 0
+        #: which execution path ran: vector / group / item / single_task
+        self.path = ""
+        #: generator resumptions performed by the phase engine (scheduler
+        #: work; 0 on the vectorized paths)
+        self.gen_advances = 0
 
     def __repr__(self) -> str:
         return (
-            f"ExecutionStats(groups={self.groups}, items={self.items}, "
-            f"barrier_phases={self.barrier_phases})"
+            f"ExecutionStats(path={self.path!r}, groups={self.groups}, "
+            f"items={self.items}, barrier_phases={self.barrier_phases}, "
+            f"gen_advances={self.gen_advances})"
         )
 
 
@@ -88,8 +119,127 @@ def validate_launch(kernel: KernelSpec, nd_range: NdRange,
             )
 
 
-def _iter_points(extents: Sequence[int]):
-    return itertools.product(*(range(e) for e in extents))
+# ---------------------------------------------------------------------------
+# Memoized index-space lattices
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=512)
+def _point_grid(extents: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+    """All index points of a rectangular extent, row-major."""
+    return tuple(itertools.product(*(range(e) for e in extents)))
+
+
+@lru_cache(maxsize=256)
+def _nd_lattice(global_dims: tuple[int, ...], local_dims: tuple[int, ...]
+                ) -> tuple[tuple[tuple[int, ...], tuple], ...]:
+    """The (group id, ((global id, local id), ...)) lattice of an nd_range.
+
+    Only immutable coordinate tuples are cached — ``Group``/``NdItem``
+    objects carry per-launch state (local memory) and are built fresh —
+    so reuse across launches and across harness worker threads is safe.
+    """
+    local_points = _point_grid(local_dims)
+    lattice = []
+    group_extents = tuple(g // l for g, l in zip(global_dims, local_dims))
+    for gid in _point_grid(group_extents):
+        base = tuple(g * l for g, l in zip(gid, local_dims))
+        items = tuple(
+            (tuple(b + p for b, p in zip(base, lid)), lid)
+            for lid in local_points
+        )
+        lattice.append((gid, items))
+    return tuple(lattice)
+
+
+def execution_cache_info() -> dict:
+    """lru_cache statistics of the memoized index grids and lattices."""
+    return {
+        "point_grid": _point_grid.cache_info(),
+        "nd_lattice": _nd_lattice.cache_info(),
+    }
+
+
+def clear_execution_caches() -> None:
+    _point_grid.cache_clear()
+    _nd_lattice.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# The shared barrier-phase engine
+# ---------------------------------------------------------------------------
+
+def _advance_barrier_phases(kernel: KernelSpec, gens: Iterable,
+                            stats: ExecutionStats, *, grid: bool = False) -> None:
+    """Run generator kernels phase by phase until all complete.
+
+    One scheduler serves both scopes: work-group barriers
+    (:func:`run_nd_range`) and grid-wide barriers
+    (:func:`run_grid_synchronized`) differ only in which generators are
+    scheduled together.  The deque rotates each phase's survivors to the
+    back, so no per-phase live-list rebuild ever happens.
+
+    Divergence check (single implementation for both scopes): within one
+    phase either *every* live participant reaches the barrier or every
+    one runs to completion; any mix is the divergent-barrier error the
+    SIMT contract forbids.
+    """
+    live = deque(gens)
+    while live:
+        phase_size = len(live)
+        reached = 0
+        for _ in range(phase_size):
+            gen = live.popleft()
+            try:
+                token = next(gen)
+            except StopIteration:
+                continue
+            if not isinstance(token, BarrierToken):
+                kind = "grid-sync" if grid else "barrier"
+                raise KernelLaunchError(
+                    f"kernel {kernel.name!r} yielded {token!r}; {kind} "
+                    "kernels must `yield item.barrier(...)`"
+                )
+            reached += 1
+            live.append(gen)
+        stats.gen_advances += phase_size
+        if reached and reached != phase_size:
+            scope = "grid barrier" if grid else "barrier"
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r}: divergent {scope} - only "
+                f"{reached} of {phase_size} work-items reached it"
+            )
+        if reached:
+            stats.barrier_phases += 1
+
+
+# ---------------------------------------------------------------------------
+# Launch entry points
+# ---------------------------------------------------------------------------
+
+_MODES = ("vector", "group", "item")
+
+
+def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None) -> str:
+    if mode is not None and mode != "auto":
+        if mode not in _MODES:
+            raise KernelLaunchError(
+                f"unknown execution mode {mode!r}; expected one of {_MODES}")
+        if getattr(kernel, f"{mode}_fn") is None:
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r} has no {mode}_fn "
+                f"(mode={mode!r} requested)")
+        return mode
+    if kernel.vector_fn is not None and not force_item:
+        return "vector"
+    # force_item pins the faithful decomposed execution (no whole-range
+    # shortcut); within it the executor prefers the group-vectorized form.
+    if kernel.group_fn is not None:
+        return "group"
+    if kernel.item_fn is not None:
+        return "item"
+    raise KernelLaunchError(
+        f"kernel {kernel.name!r} has no item_fn (force_item requested)"
+    )
 
 
 def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
@@ -101,49 +251,41 @@ def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
     but the reproduction keeps the primitive for the CUDA side.  Every
     ``yield item.barrier(...)`` synchronizes across the *entire grid*,
     not just the work-group: all items of all groups reach barrier k
-    before any proceeds.
+    before any proceeds.  A generator ``group_fn`` is preferred when
+    present and synchronizes at group granularity (all groups reach
+    barrier k before any continues).
     """
-    if kernel.item_fn is None:
-        raise KernelLaunchError(
-            f"kernel {kernel.name!r} needs an item_fn for grid sync")
-    if not inspect.isgeneratorfunction(kernel.item_fn):
-        raise KernelLaunchError(
-            f"kernel {kernel.name!r} never synchronizes; use run_nd_range")
+    use_group = (kernel.group_fn is not None
+                 and inspect.isgeneratorfunction(kernel.group_fn))
+    if not use_group:
+        if kernel.item_fn is None:
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r} needs an item_fn for grid sync")
+        if not inspect.isgeneratorfunction(kernel.item_fn):
+            raise KernelLaunchError(
+                f"kernel {kernel.name!r} never synchronizes; use run_nd_range")
     stats = ExecutionStats()
     local_accessors = [a for a in args if isinstance(a, LocalAccessor)]
     for acc in local_accessors:
         acc._begin_group()  # one grid-wide instance
+    group_size = nd_range.group_size()
     gens = []
-    for gid in _iter_points(nd_range.group_range().dims):
-        group = Group(gid, nd_range)
-        stats.groups += 1
-        for lid in _iter_points(nd_range.local_range.dims):
-            glob = tuple(g * l + p for g, l, p in
-                         zip(gid, nd_range.local_range.dims, lid))
-            gens.append(kernel.item_fn(NdItem(glob, lid, group), *args))
-            stats.items += 1
-    live = list(range(len(gens)))
-    while live:
-        next_live = []
-        reached = 0
-        for i in live:
-            try:
-                token = next(gens[i])
-            except StopIteration:
-                continue
-            if not isinstance(token, BarrierToken):
-                raise KernelLaunchError(
-                    f"kernel {kernel.name!r} yielded {token!r}; grid-sync "
-                    "kernels must `yield item.barrier(...)`")
-            reached += 1
-            next_live.append(i)
-        if reached and reached != len(live):
-            raise KernelLaunchError(
-                f"kernel {kernel.name!r}: divergent grid barrier - only "
-                f"{reached} of {len(live)} work-items reached it")
-        if reached:
-            stats.barrier_phases += 1
-        live = next_live
+    if use_group:
+        stats.path = "group"
+        for gid in _point_grid(nd_range.group_range().dims):
+            stats.groups += 1
+            stats.items += group_size
+            gens.append(kernel.group_fn(Group(gid, nd_range), *args))
+    else:
+        stats.path = "item"
+        for gid, coords in _nd_lattice(nd_range.global_range.dims,
+                                       nd_range.local_range.dims):
+            group = Group(gid, nd_range)
+            stats.groups += 1
+            stats.items += group_size
+            for glob, lid in coords:
+                gens.append(kernel.item_fn(NdItem(glob, lid, group), *args))
+    _advance_barrier_phases(kernel, gens, stats, grid=True)
     for acc in local_accessors:
         acc._end_group()
     return stats
@@ -151,69 +293,67 @@ def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
 
 def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
                  *, force_item: bool = False,
-                 device_max_wg: int | None = None) -> ExecutionStats:
-    """Execute an ND-range kernel functionally."""
+                 device_max_wg: int | None = None,
+                 mode: str | None = None) -> ExecutionStats:
+    """Execute an ND-range kernel functionally.
+
+    ``mode`` pins an execution path explicitly (``"vector"``,
+    ``"group"`` or ``"item"``); otherwise the fastest available path is
+    selected — the whole-range vector form unless ``force_item``, then
+    the group-vectorized form, then the per-item form.
+    """
     validate_launch(kernel, nd_range, device_max_wg)
     stats = ExecutionStats()
+    path = _select_path(kernel, force_item, mode)
+    stats.path = path
 
-    if kernel.vector_fn is not None and not force_item:
+    if path == "vector":
         kernel.vector_fn(nd_range, *args)
         stats.groups = nd_range.num_groups()
         stats.items = nd_range.total_items()
         return stats
 
-    if kernel.item_fn is None:
-        raise KernelLaunchError(
-            f"kernel {kernel.name!r} has no item_fn (force_item requested)"
-        )
-
     local_accessors = [a for a in args if isinstance(a, LocalAccessor)]
-    group_extents = nd_range.group_range().dims
-    local_extents = nd_range.local_range.dims
-    is_generator = inspect.isgeneratorfunction(kernel.item_fn)
+    group_size = nd_range.group_size()
 
-    for gid in _iter_points(group_extents):
+    if path == "group":
+        group_fn = kernel.group_fn
+        is_generator = inspect.isgeneratorfunction(group_fn)
+        for gid in _point_grid(nd_range.group_range().dims):
+            group = Group(gid, nd_range)
+            for acc in local_accessors:
+                acc._begin_group()
+            stats.groups += 1
+            stats.items += group_size
+            if is_generator:
+                _advance_barrier_phases(kernel, (group_fn(group, *args),),
+                                        stats)
+            else:
+                group_fn(group, *args)
+            for acc in local_accessors:
+                acc._end_group()
+        return stats
+
+    item_fn = kernel.item_fn
+    is_generator = inspect.isgeneratorfunction(item_fn)
+    for gid, coords in _nd_lattice(nd_range.global_range.dims,
+                                   nd_range.local_range.dims):
         group = Group(gid, nd_range)
         for acc in local_accessors:
             acc._begin_group()
         stats.groups += 1
-
-        items = []
-        for lid in _iter_points(local_extents):
-            glob = tuple(g * l + p for g, l, p in zip(gid, local_extents, lid))
-            items.append(NdItem(glob, lid, group))
-        stats.items += len(items)
+        stats.items += group_size
 
         if not is_generator:
-            for item in items:
-                kernel.item_fn(item, *args)
+            for glob, lid in coords:
+                item_fn(NdItem(glob, lid, group), *args)
         else:
-            # Phase-by-phase barrier scheduling.
-            gens = [kernel.item_fn(item, *args) for item in items]
-            live = list(range(len(gens)))
-            while live:
-                next_live = []
-                tokens = []
-                for i in live:
-                    try:
-                        token = next(gens[i])
-                    except StopIteration:
-                        continue
-                    if not isinstance(token, BarrierToken):
-                        raise KernelLaunchError(
-                            f"kernel {kernel.name!r} yielded {token!r}; "
-                            "barrier kernels must `yield item.barrier(...)`"
-                        )
-                    tokens.append(token)
-                    next_live.append(i)
-                if tokens and len(tokens) != len(live):
-                    raise KernelLaunchError(
-                        f"kernel {kernel.name!r}: divergent barrier - only "
-                        f"{len(tokens)} of {len(live)} work-items reached it"
-                    )
-                if tokens:
-                    stats.barrier_phases += 1
-                live = next_live
+            _advance_barrier_phases(
+                kernel,
+                [item_fn(NdItem(glob, lid, group), *args)
+                 for glob, lid in coords],
+                stats,
+            )
 
         for acc in local_accessors:
             acc._end_group()
@@ -228,6 +368,7 @@ def run_single_task(kernel: KernelSpec, args: tuple) -> ExecutionStats:
     completion and will raise if a pipe read ever blocks.
     """
     stats = ExecutionStats()
+    stats.path = "single_task"
     fn = kernel.vector_fn or kernel.item_fn
     result = fn(*args)
     if inspect.isgenerator(result):

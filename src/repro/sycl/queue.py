@@ -31,7 +31,7 @@ from .executor import ExecutionStats, run_nd_range, run_single_task
 from .kernel import KernelKind, KernelSpec
 from .ndrange import NdRange, Range
 
-__all__ = ["Queue", "Handler", "SpecTiming", "TimelineEntry"]
+__all__ = ["Queue", "Handler", "SpecTiming", "TimelineEntry", "LaunchCounters"]
 
 #: Modeled host-to-device interconnect (PCIe 3.0 x16 effective).
 _PCIE_BW = 12e9
@@ -64,6 +64,44 @@ class SpecTiming:
 
     def transfer_duration_s(self, nbytes: int, kind: CommandKind) -> float:
         return _PCIE_LATENCY_S + nbytes / _PCIE_BW
+
+
+@dataclass
+class LaunchCounters:
+    """Aggregate per-launch counters a queue accumulates across its lifetime.
+
+    These make executor/harness speedups measurable rather than asserted:
+    ``path_counts`` records which execution path (vector / group / item /
+    single_task) served each kernel launch, and ``gen_advances`` counts
+    the generator resumptions the barrier-phase engine performed.
+    Reset together with the timeline by :meth:`Queue.reset_timeline`.
+    """
+
+    kernel_launches: int = 0
+    single_task_launches: int = 0
+    memcpy_ops: int = 0
+    h2d_bytes: int = 0
+    items: int = 0
+    groups: int = 0
+    barrier_phases: int = 0
+    gen_advances: int = 0
+    path_counts: dict = field(default_factory=dict)
+
+    def note_launch(self, stats: ExecutionStats) -> None:
+        if stats.path == "single_task":
+            self.single_task_launches += 1
+        else:
+            self.kernel_launches += 1
+        self.items += stats.items
+        self.groups += stats.groups
+        self.barrier_phases += stats.barrier_phases
+        self.gen_advances += stats.gen_advances
+        if stats.path:
+            self.path_counts[stats.path] = self.path_counts.get(stats.path, 0) + 1
+
+    def note_memcpy(self, nbytes: int) -> None:
+        self.memcpy_ops += 1
+        self.h2d_bytes += nbytes
 
 
 @dataclass
@@ -103,19 +141,21 @@ class Handler:
         return Accessor(buf, self, mode, *props)
 
     def parallel_for(self, nd_range: NdRange, kernel: KernelSpec, *args,
-                     profile=None, force_item: bool = False) -> None:
+                     profile=None, force_item: bool = False,
+                     mode: str | None = None) -> None:
         if self._command is not None:
             raise InvalidParameterError("one command per command group")
         if kernel.is_single_task:
             raise KernelLaunchError(f"{kernel.name!r} is a single-task kernel")
-        self._command = ("nd_range", kernel, nd_range, args, profile, force_item)
+        self._command = ("nd_range", kernel, nd_range, args, profile, force_item,
+                         mode)
 
     def single_task(self, kernel: KernelSpec, *args, profile=None) -> None:
         if self._command is not None:
             raise InvalidParameterError("one command per command group")
         if not kernel.is_single_task:
             raise KernelLaunchError(f"{kernel.name!r} is an nd-range kernel")
-        self._command = ("single_task", kernel, None, args, profile, False)
+        self._command = ("single_task", kernel, None, args, profile, False, None)
 
     def memcpy(self, dst, src, nbytes: int | None = None) -> None:
         if self._command is not None:
@@ -153,6 +193,8 @@ class Queue:
         #: modeled device clock, nanoseconds
         self.now_ns: int = 0
         self.timeline: list[TimelineEntry] = []
+        #: lifetime launch/transfer counters (reset with the timeline)
+        self.counters = LaunchCounters()
 
     # -- internal clock helpers ------------------------------------------
     def _advance(self, seconds: float) -> tuple[int, int]:
@@ -189,11 +231,13 @@ class Queue:
         if tag == "memcpy":
             _, dst, src, nbytes = h._command
             return self._do_memcpy(dst, src, nbytes)
-        _, kernel, nd_range, args, profile, force_item = h._command
-        return self._launch(kernel, nd_range, args, profile, h, force_item)
+        _, kernel, nd_range, args, profile, force_item, mode = h._command
+        return self._launch(kernel, nd_range, args, profile, h, force_item,
+                            mode=mode)
 
     def parallel_for(self, nd_range: NdRange | Range | tuple, kernel: KernelSpec,
-                     *args, profile=None, force_item: bool = False) -> Event:
+                     *args, profile=None, force_item: bool = False,
+                     mode: str | None = None) -> Event:
         """Shortcut submission without an explicit command group."""
         if not isinstance(nd_range, NdRange):
             rng = nd_range if isinstance(nd_range, Range) else Range(nd_range)
@@ -203,7 +247,8 @@ class Queue:
             # ensure divisibility
             local = tuple(_largest_divisor(d, l) for d, l in zip(rng.dims, local))
             nd_range = NdRange(rng, Range(local))
-        return self._launch(kernel, nd_range, args, profile, None, force_item)
+        return self._launch(kernel, nd_range, args, profile, None, force_item,
+                            mode=mode)
 
     def single_task(self, kernel: KernelSpec, *args, profile=None) -> Event:
         return self._launch(kernel, None, args, profile, None, False)
@@ -233,9 +278,11 @@ class Queue:
         return moved
 
     def _launch(self, kernel: KernelSpec, nd_range: NdRange | None, args: tuple,
-                profile, handler: Handler | None, force_item: bool) -> Event:
+                profile, handler: Handler | None, force_item: bool,
+                mode: str | None = None) -> Event:
         h2d = self._buffer_transfers(args, handler)
         if h2d:
+            self.counters.note_memcpy(h2d)
             self._record(
                 CommandKind.MEMCPY_H2D,
                 f"{kernel.name}:h2d",
@@ -249,9 +296,11 @@ class Queue:
             stats = run_nd_range(
                 kernel, nd_range, args, force_item=force_item,
                 device_max_wg=self.device.get_info("max_work_group_size"),
+                mode=mode,
             )
         else:
             stats = run_single_task(kernel, args)
+        self.counters.note_launch(stats)
         device_s = self.timing.kernel_duration_s(kernel, nd_range, profile)
         overhead_s = self._launch_overhead_s(kernel)
         return self._record(CommandKind.KERNEL, kernel.name, device_s, overhead_s,
@@ -271,6 +320,7 @@ class Queue:
         flat_dst = dst_arr.reshape(-1)
         flat_src = src_arr.reshape(-1)
         flat_dst[:count] = flat_src[:count].astype(dst_arr.dtype, copy=False)
+        self.counters.note_memcpy(nbytes)
         dur = self.timing.transfer_duration_s(nbytes, CommandKind.MEMCPY_H2D)
         return self._record(CommandKind.MEMCPY_H2D, "memcpy", dur, 0.0, nbytes=nbytes)
 
@@ -295,6 +345,7 @@ class Queue:
     def reset_timeline(self) -> None:
         self.timeline.clear()
         self.now_ns = 0
+        self.counters = LaunchCounters()
 
 
 def _largest_divisor(n: int, at_most: int) -> int:

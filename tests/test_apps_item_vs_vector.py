@@ -1,5 +1,10 @@
 """Cross-validation: per-work-item kernels (the 'real' SYCL semantics,
-with generator barriers) must agree with the numpy fast paths."""
+with generator barriers) must agree with the numpy fast paths.
+
+Apps that supply a work-group-vectorized ``group_fn`` (NW, SRAD,
+KMeans) are parametrized over both decomposed paths — ``mode="item"``
+pins the strict per-item execution now that ``force_item`` alone would
+prefer the faster group path."""
 
 import numpy as np
 import pytest
@@ -26,7 +31,8 @@ class TestMandelbrotItemPath:
 
 
 class TestNwItemPath:
-    def test_blocked_wavefront_with_barriers(self):
+    @pytest.mark.parametrize("mode", ["item", "group"])
+    def test_blocked_wavefront_with_barriers(self, mode):
         from repro.altis.nw import NW, _similarity
 
         app = NW()
@@ -41,14 +47,19 @@ class TestNwItemPath:
         kern = app.kernels()["needle_block"]
         for d in range(2 * nb - 1):
             blocks = (d + 1) if d < nb else (2 * nb - 1 - d)
-            run_nd_range(kern, NdRange(Range(blocks * block), Range(block)),
-                         (score, sim, penalty, d, nb, n, block),
-                         force_item=True)
+            stats = run_nd_range(
+                kern, NdRange(Range(blocks * block), Range(block)),
+                (score, sim, penalty, d, nb, n, block), mode=mode)
+            assert stats.path == mode
+            # both decomposed paths honor the same phase structure: per
+            # group, one staging barrier + one per tile anti-diagonal
+            assert stats.barrier_phases == 2 * block * stats.groups
         np.testing.assert_array_equal(score, app.reference(wl)["score"])
 
 
 class TestKMeansItemPath:
-    def test_map_centers(self):
+    @pytest.mark.parametrize("mode", ["item", "group"])
+    def test_map_centers(self, mode):
         from repro.altis.kmeans import KMeans, _assign_points
 
         app = KMeans()
@@ -60,13 +71,15 @@ class TestKMeansItemPath:
         kern = app.kernels()["mapCenters"]
         wg = 16
         gn = -(-n // wg) * wg
-        run_nd_range(kern, NdRange(Range(gn), Range(wg)),
-                     (points, centers, assign, n, k, d), force_item=True)
+        stats = run_nd_range(kern, NdRange(Range(gn), Range(wg)),
+                             (points, centers, assign, n, k, d), mode=mode)
+        assert stats.path == mode
         np.testing.assert_array_equal(assign, _assign_points(points, centers))
 
 
 class TestSradItemPath:
-    def test_both_kernels(self):
+    @pytest.mark.parametrize("mode", ["item", "group"])
+    def test_both_kernels(self, mode):
         from repro.altis.srad import Srad
 
         app = Srad()
@@ -83,9 +96,9 @@ class TestSradItemPath:
             mean, var = img.mean(), img.var()
             q0 = var / (mean * mean)
             run_nd_range(ks["srad1"], nd, (img, *arrays, q0, rows, cols),
-                         force_item=True)
+                         mode=mode)
             run_nd_range(ks["srad2"], nd, (img, *arrays, p["lam"], rows, cols),
-                         force_item=True)
+                         mode=mode)
         np.testing.assert_allclose(img, app.reference(wl)["img"],
                                    rtol=1e-4, atol=1e-5)
 
