@@ -95,6 +95,45 @@ def test_nw_wavefront_group_vs_item_speedup():
     assert auto_s <= item_s
 
 
+def test_tracing_overhead_disabled():
+    """Tracing must be zero-cost when off: the disabled path executes one
+    ``current_tracer()`` read per launch, so the untraced wavefront is
+    the baseline by construction, and enabling tracing (which records a
+    launch, kernel-form, and modeled span per launch plus barrier
+    phases) must still stay in the same ballpark on the group path."""
+    from repro.trace import current_tracer, tracing
+
+    assert current_tracer() is None
+    _nw_wavefront("group", scale=0.008)  # warm lattices
+
+    disabled_s = min(_nw_wavefront("group")[0] for _ in range(3))
+    with tracing() as tracer:
+        enabled_s = min(_nw_wavefront("group")[0] for _ in range(3))
+        spans = len(tracer.events())
+    assert current_tracer() is None
+    assert spans > 0
+
+    items = _nw_wavefront("group")[1]
+    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
+    _record("tracing_overhead", {
+        "workload": "NW blocked wavefront, group path, scale=0.02, best of 3",
+        "disabled_s": round(disabled_s, 6),
+        "disabled_items_per_s": round(items / disabled_s),
+        "enabled_s": round(enabled_s, 6),
+        "enabled_items_per_s": round(items / enabled_s),
+        "enabled_overhead_pct": round(overhead_pct, 2),
+        "spans_recorded": spans,
+    })
+    # even *enabled*, span recording is per-launch/per-phase, never
+    # per-item — on this phase-heavy microbenchmark (hundreds of barrier
+    # phases, microseconds of work each) that costs ~2x, which is the
+    # worst case by construction; a blowup past 3x means instrumentation
+    # leaked into a per-item loop, which would also show up (far worse)
+    # on the disabled path and trip the 3x group-speedup gate above
+    assert enabled_s < disabled_s * 3.0, (
+        f"tracing overhead {overhead_pct:.1f}% on the group path")
+
+
 def test_figure_sweep_warm_cache_speedup(tmp_path):
     """Figs. 2/4/5 rebuild: warm cache >= 3x faster, byte-identical."""
     from repro.harness import experiments

@@ -27,6 +27,15 @@ from .resultdb import ResultDB
 __all__ = ["main", "build_parser", "run_benchmark"]
 
 
+def _add_trace_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("--trace", action="store_true",
+                            help="record an execution trace of this command")
+    sub_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="Chrome-trace JSON output path "
+                                 "(default: trace.json; open in "
+                                 "chrome://tracing)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -44,7 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="functional problem scale (default: test scale)")
     run.add_argument("--variant", default="sycl_opt",
                      choices=[v.value for v in Variant])
+    run.add_argument("--mode", default=None,
+                     choices=["auto", "vector", "group", "item"],
+                     help="pin one executor path for kernels that "
+                          "implement it (default: auto)")
     run.add_argument("--quiet", action="store_true")
+    _add_trace_args(run)
 
     sub.add_parser("list", help="list benchmarks and devices")
 
@@ -60,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--cache-dir", default=None,
                          help="figure-cache directory (default: "
                               "$REPRO_CACHE_DIR or .repro_cache)")
+    _add_trace_args(figures)
 
     suite = sub.add_parser("suite",
                            help="run the functional verification sweep")
@@ -68,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--variant", default="sycl_opt",
                        choices=[v.value for v in Variant])
     suite.add_argument("--workers", type=int, default=None)
+    suite.add_argument("--mode", default=None,
+                       choices=["auto", "vector", "group", "item"],
+                       help="pin one executor path for kernels that "
+                            "implement it (default: auto)")
+    _add_trace_args(suite)
 
     sub.add_parser("migrate", help="print the §3.2 migration report")
 
@@ -83,14 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run_benchmark(config: str, size: int, device_key: str, passes: int,
                   variant: Variant, scale: float | None,
-                  db: ResultDB) -> None:
+                  db: ResultDB, mode: str | None = None) -> None:
     """Execute one benchmark ``passes`` times into a ResultDB."""
     from .runner import _DEFAULT_SCALES, run_functional
 
+    if mode == "auto":
+        mode = None
     scale = scale if scale is not None else _DEFAULT_SCALES.get(config, 0.02)
     for pass_idx in range(passes):
         result = run_functional(config, device_key, variant, scale=scale,
-                                seed=pass_idx)
+                                seed=pass_idx, mode=mode)
         db.add_result(config, "kernel_time", "s", result.modeled_kernel_s)
         db.add_result(config, "total_time", "s", result.modeled_total_s)
     # the analytical layer's full-size estimate, once
@@ -107,7 +129,7 @@ def run_benchmark(config: str, size: int, device_key: str, passes: int,
 def _cmd_run(args) -> int:
     db = ResultDB()
     run_benchmark(args.benchmark, args.size, args.device, args.passes,
-                  Variant(args.variant), args.scale, db)
+                  Variant(args.variant), args.scale, db, mode=args.mode)
     if not args.quiet:
         print(db.render())
     return 0
@@ -162,8 +184,9 @@ def _cmd_figures(args) -> int:
 def _cmd_suite(args) -> int:
     from .runner import run_suite_functional
 
+    mode = None if args.mode == "auto" else args.mode
     results = run_suite_functional(args.device, Variant(args.variant),
-                                   workers=args.workers)
+                                   workers=args.workers, mode=mode)
     for r in results:
         status = "ok" if r.verified else "FAIL"
         print(f"{r.config:<14} {status:<5} kernel={r.modeled_kernel_s:.3e}s "
@@ -212,7 +235,33 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if not getattr(args, "trace", False):
+        return command(args)
+    return _run_traced(command, args)
+
+
+def _run_traced(command, args) -> int:
+    """Run one CLI command under a fresh tracer and export the trace."""
+    from ..trace import metrics, tracing, write_chrome_trace
+    from . import reporting
+
+    with tracing() as tracer:
+        with tracer.span(f"repro:{args.command}", "run",
+                         command=args.command):
+            status = command(args)
+        events = tracer.events()
+    out = args.trace_out or "trace.json"
+    path = write_chrome_trace(out, events,
+                              metrics=metrics.registry.snapshot())
+    quiet = getattr(args, "quiet", False)
+    if not quiet:
+        launches = sum(1 for ev in events if ev.cat == "launch")
+        if launches:
+            print(reporting.render_trace_table(events))
+        print(f"trace: {len(events)} spans -> {path} "
+              "(load in chrome://tracing)")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

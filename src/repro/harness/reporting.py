@@ -5,12 +5,14 @@ from __future__ import annotations
 
 from ..altis.base import SIZES
 from ..common.utils import geomean
+from ..trace.export import launch_table
 
 __all__ = [
     "render_speedup_grid",
     "render_figure1",
     "render_figure5",
     "render_table2",
+    "render_trace_table",
     "compare_ratio",
 ]
 
@@ -89,6 +91,36 @@ def render_figure5(model: dict[str, dict[str, tuple]],
         lines.append(f"{'geomean':<14}"
                      + "".join(f"{v:>9.2f}" for v in gm)
                      + ("          " + " ".join(f"{p:>7.2f}" for p in gp) if gp else ""))
+    return "\n".join(lines)
+
+
+def render_trace_table(events, *, limit: int | None = 40) -> str:
+    """Flat per-launch view of a trace: wall time next to modeled time.
+
+    One row per ``launch`` span — the textual counterpart of opening the
+    Chrome trace, and the join Fig. 1 relies on (measured wall cost of a
+    launch vs the modeled device/overhead split).
+    """
+    rows = launch_table(events)
+    title = f"Per-launch trace table ({len(rows)} launches)"
+    lines = [title, "=" * max(70, len(title))]
+    header = (f"{'kernel':<24}{'path':<8}{'items':>9}{'groups':>8}"
+              f"{'phases':>8}{'wall us':>12}{'model us':>12}{'ovh us':>10}")
+    lines.append(header)
+    shown = rows if limit is None else rows[:limit]
+    for r in shown:
+        lines.append(
+            f"{r['kernel']:<24}{r['path']:<8}{r['items']:>9}{r['groups']:>8}"
+            f"{r['barrier_phases']:>8}{r['wall_us']:>12.1f}"
+            f"{r['modeled_device_us']:>12.2f}{r['modeled_overhead_us']:>10.2f}")
+    if limit is not None and len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more launches")
+    if rows:
+        wall = sum(r["wall_us"] for r in rows)
+        model = sum(r["modeled_device_us"] for r in rows)
+        ovh = sum(r["modeled_overhead_us"] for r in rows)
+        lines.append(f"{'total':<24}{'':<8}{'':>9}{'':>8}{'':>8}"
+                     f"{wall:>12.1f}{model:>12.2f}{ovh:>10.2f}")
     return "\n".join(lines)
 
 

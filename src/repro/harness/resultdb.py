@@ -23,6 +23,7 @@ import hashlib
 import json
 import math
 import os
+import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -258,9 +259,21 @@ class FigureCache:
         self.root.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"schema": _CODEC_SCHEMA, "parts": repr(parts),
                               "value": _encode(value)}, sort_keys=True)
-        tmp = self._path(key).with_suffix(".tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, self._path(key))
+        # each writer stages through its own temp file: a shared
+        # ``<key>.tmp`` would let one racing writer's os.replace strand
+        # the other's (FileNotFoundError on the second replace)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=f".{key}-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> None:
         if self.root.is_dir():

@@ -21,6 +21,7 @@ from __future__ import annotations
 import multiprocessing
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext as _null_context
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Iterable, Sequence
@@ -31,6 +32,8 @@ from ..altis.base import AltisApp, Variant, Workload
 from ..altis.registry import make_app
 from ..common.errors import InvalidParameterError
 from ..sycl import Queue, device
+from ..trace.metrics import registry as _trace_metrics
+from ..trace.spans import Tracer, current_tracer, install_tracer
 
 __all__ = [
     "RunResult",
@@ -93,6 +96,37 @@ def resolve_pool_mode(fn: Callable, mode: str = "auto") -> str:
     return "thread"
 
 
+@dataclass
+class _TracedCell:
+    """A pool-worker result bundled with the spans it recorded."""
+
+    result: object
+    events: list
+
+
+def _traced_cell(fn: Callable, item):
+    """Run one pool cell under a fresh worker tracer (module-level so a
+    process pool can pickle it) and ship the spans home with the result."""
+    tracer = Tracer(pid="worker")
+    previous = install_tracer(tracer)
+    try:
+        with tracer.span(f"cell:{item}", "cell"):
+            result = fn(item)
+    finally:
+        install_tracer(previous)
+    return _TracedCell(result=result, events=tracer.events())
+
+
+def _shared_traced_cell(fn: Callable, item):
+    """Thread-pool flavour of :func:`_traced_cell`: the worker thread
+    shares the process tracer, so only the cell span is added."""
+    tracer = current_tracer()
+    if tracer is None:
+        return fn(item)
+    with tracer.span(f"cell:{item}", "cell"):
+        return fn(item)
+
+
 def pool_map(fn: Callable, items: Sequence | Iterable, *,
              workers: int | None = None, mode: str = "auto") -> list:
     """Map ``fn`` over ``items`` with a worker pool, preserving order.
@@ -101,15 +135,35 @@ def pool_map(fn: Callable, items: Sequence | Iterable, *,
     overhead, exact seed behavior).  Results always come back in input
     order regardless of completion order — ``Executor.map`` guarantees
     it — so sweeps stay deterministic under parallelism.
+
+    When a tracer is active the trace context crosses the pool: thread
+    workers record straight into the shared tracer (distinct ``tid`` per
+    worker thread); process workers run under a private tracer whose
+    spans are adopted into the parent trace afterwards, so a parallel
+    sweep always yields one merged trace.
     """
     items = list(items)
     if workers is None or workers <= 1 or len(items) <= 1:
         return [fn(it) for it in items]
     workers = min(workers, len(items))
-    pool_cls = (ProcessPoolExecutor if resolve_pool_mode(fn, mode) == "process"
+    pool_mode = resolve_pool_mode(fn, mode)
+    tracer = current_tracer()
+    traced_process = tracer is not None and pool_mode == "process"
+    mapped = fn
+    if tracer is not None:
+        mapped = partial(_traced_cell if traced_process
+                         else _shared_traced_cell, fn)
+    pool_cls = (ProcessPoolExecutor if pool_mode == "process"
                 else ThreadPoolExecutor)
     with pool_cls(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        results = list(pool.map(mapped, items))
+    if traced_process:
+        unwrapped = []
+        for i, cell in enumerate(results):
+            tracer.adopt(cell.events, pid=f"cell-{i}")
+            unwrapped.append(cell.result)
+        return unwrapped
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -123,10 +177,24 @@ _workload_cache_misses = 0
 
 
 def _copy_workload(workload: Workload) -> Workload:
+    tracer = current_tracer()
+    arrays = {}
+    for name, arr in workload.arrays.items():
+        if tracer is None:
+            arrays[name] = np.copy(arr)
+        else:
+            # the staging copy is the functional analogue of the H2D
+            # transfer: kernels mutate these arrays as device memory
+            start = tracer.now_us()
+            arrays[name] = np.copy(arr)
+            tracer.complete(f"h2d:{name}", "transfer", start,
+                            tracer.now_us() - start, bytes=arr.nbytes,
+                            array=name)
+            _trace_metrics.counter("harness.staged_bytes").inc(arr.nbytes)
     return Workload(
         app=workload.app,
         size=workload.size,
-        arrays={k: np.copy(v) for k, v in workload.arrays.items()},
+        arrays=arrays,
         params=dict(workload.params),
     )
 
@@ -184,24 +252,38 @@ class RunResult:
     modeled_kernel_s: float
     modeled_total_s: float
     workload: Workload
+    #: the arrays ``run_sycl`` returned (golden-fixture checksums hash these)
+    outputs: dict | None = None
 
 
 def run_functional(config: str, device_key: str = "rtx2080",
                    variant: Variant = Variant.SYCL_OPT,
-                   scale: float | None = None, seed: int = 0) -> RunResult:
-    """Generate -> run -> verify one benchmark configuration."""
-    app = make_app(config)
-    scale = scale if scale is not None else _DEFAULT_SCALES.get(config, 0.02)
-    workload = generate_workload(config, 1, seed=seed, scale=scale)
-    queue = Queue(device_key)
-    result = app.run_sycl(queue, workload, variant)
-    if config == "Raytracing" and variant is Variant.CUDA:
-        verified = True  # different RNG stream: not comparable (paper §3.3)
-    else:
-        expected = app.reference(workload)
-        rtol, atol = _TOLERANCES.get(config, (1e-4, 1e-5))
-        app.verify(result, expected, rtol=rtol, atol=atol)
-        verified = True
+                   scale: float | None = None, seed: int = 0,
+                   mode: str | None = None) -> RunResult:
+    """Generate -> run -> verify one benchmark configuration.
+
+    ``mode`` pins one executor path (vector/group/item) for every launch
+    whose kernel implements it — the differential tests' entry point.
+    """
+    tracer = current_tracer()
+    app_span = (tracer.span(f"app:{config}", "app", config=config,
+                            device=device_key, variant=variant.value,
+                            seed=seed, mode=mode or "auto")
+                if tracer is not None else _null_context())
+    with app_span:
+        app = make_app(config)
+        scale = scale if scale is not None else _DEFAULT_SCALES.get(config, 0.02)
+        workload = generate_workload(config, 1, seed=seed, scale=scale)
+        queue = Queue(device_key, default_mode=mode)
+        result = app.run_sycl(queue, workload, variant)
+        if config == "Raytracing" and variant is Variant.CUDA:
+            verified = True  # different RNG stream: not comparable (paper §3.3)
+        else:
+            expected = app.reference(workload)
+            rtol, atol = _TOLERANCES.get(config, (1e-4, 1e-5))
+            app.verify(result, expected, rtol=rtol, atol=atol)
+            verified = True
+    _trace_metrics.counter("harness.runs").inc()
     return RunResult(
         config=config,
         device_key=device_key,
@@ -210,17 +292,20 @@ def run_functional(config: str, device_key: str = "rtx2080",
         modeled_kernel_s=queue.kernel_time_s(),
         modeled_total_s=queue.total_time_s(),
         workload=workload,
+        outputs=result,
     )
 
 
 def run_suite_functional(device_key: str = "rtx2080",
                          variant: Variant = Variant.SYCL_OPT, *,
                          workers: int | None = None,
-                         pool_mode: str = "auto") -> list[RunResult]:
+                         pool_mode: str = "auto",
+                         mode: str | None = None) -> list[RunResult]:
     """Run every configuration once (the 'does it all work' sweep).
 
     Results are returned in suite (``_DEFAULT_SCALES``) order no matter
     which worker finishes first.
     """
-    fn = partial(run_functional, device_key=device_key, variant=variant)
+    fn = partial(run_functional, device_key=device_key, variant=variant,
+                 mode=mode)
     return pool_map(fn, list(_DEFAULT_SCALES), workers=workers, mode=pool_mode)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..trace.metrics import registry as _trace_metrics
+from ..trace.spans import current_tracer
 from .fpga import FpgaModel
 from .gpu import CpuModel, GpuModel
 from .overhead import RuntimeOverheads
@@ -94,5 +96,19 @@ def time_launch_plan(plan: LaunchPlan, spec: DeviceSpec,
     non_kernel += launches * events_per_launch * overheads.event_s
     if plan.transfer_bytes:
         non_kernel += overheads.transfer_time_s(plan.transfer_bytes)
-    return RunDecomposition(kernel_s=kernel_s, non_kernel_s=non_kernel,
-                            launches=launches)
+    decomp = RunDecomposition(kernel_s=kernel_s, non_kernel_s=non_kernel,
+                              launches=launches)
+    tracer = current_tracer()
+    if tracer is not None:
+        # modeled run decomposition on its own clock lane: dur is the
+        # *modeled* total, anchored at the wall moment it was assembled,
+        # so Fig. 1's numbers sit next to the measured spans.
+        tracer.complete(
+            f"plan:{spec.key}", "model", tracer.now_us(),
+            decomp.total_s * 1e6, tid=f"modeled:{spec.key}",
+            kernel_us=decomp.kernel_s * 1e6,
+            non_kernel_us=decomp.non_kernel_s * 1e6,
+            launches=launches, device=spec.key,
+        )
+        _trace_metrics.counter("perfmodel.plans_timed").inc()
+    return decomp

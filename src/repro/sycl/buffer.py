@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..common.errors import InvalidParameterError
+from ..trace.metrics import registry as _trace_metrics
+from ..trace.spans import current_tracer
 from .ndrange import Range
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -94,6 +96,8 @@ class Buffer:
             self.resident_on_device = True
         if writes:
             self.dirty_on_device = True
+        if moved:
+            self._note_transfer("h2d", moved)
         return moved
 
     def _sync_to_host(self) -> int:
@@ -101,8 +105,21 @@ class Buffer:
         if self.dirty_on_device:
             self.dirty_on_device = False
             self.d2h_bytes += self.nbytes
+            self._note_transfer("d2h", self.nbytes)
             return self.nbytes
         return 0
+
+    def _note_transfer(self, direction: str, nbytes: int) -> None:
+        """Record a modeled transfer on the active trace (no-op otherwise)."""
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        now = tracer.now_us()
+        # zero-duration on the wall clock: the copy is modeled, not real
+        tracer.complete(f"transfer:{direction}", "transfer", now, 0.0,
+                        bytes=nbytes, shape=list(self._host.shape),
+                        dtype=str(self._host.dtype))
+        _trace_metrics.counter(f"sycl.{direction}_bytes").inc(nbytes)
 
     # -- host access -------------------------------------------------------
     def host_array(self) -> np.ndarray:

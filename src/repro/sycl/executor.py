@@ -36,10 +36,13 @@ from __future__ import annotations
 import inspect
 import itertools
 from collections import deque
+from contextlib import nullcontext as _null_context
 from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..common.errors import KernelLaunchError
+from ..trace.metrics import registry as _metrics
+from ..trace.spans import current_tracer
 from .buffer import LocalAccessor
 from .kernel import KernelSpec
 from .ndrange import BarrierToken, Group, NdItem, NdRange
@@ -169,7 +172,8 @@ def clear_execution_caches() -> None:
 # ---------------------------------------------------------------------------
 
 def _advance_barrier_phases(kernel: KernelSpec, gens: Iterable,
-                            stats: ExecutionStats, *, grid: bool = False) -> None:
+                            stats: ExecutionStats, *, grid: bool = False,
+                            tracer=None) -> None:
     """Run generator kernels phase by phase until all complete.
 
     One scheduler serves both scopes: work-group barriers
@@ -178,13 +182,19 @@ def _advance_barrier_phases(kernel: KernelSpec, gens: Iterable,
     scheduled together.  The deque rotates each phase's survivors to the
     back, so no per-phase live-list rebuild ever happens.
 
+    With a ``tracer`` each phase is recorded as a ``barrier-phase`` span
+    under the caller's open kernel-form span; ``tracer=None`` adds one
+    branch per phase and nothing else.
+
     Divergence check (single implementation for both scopes): within one
     phase either *every* live participant reaches the barrier or every
     one runs to completion; any mix is the divergent-barrier error the
     SIMT contract forbids.
     """
     live = deque(gens)
+    phase_index = 0
     while live:
+        phase_start = tracer.now_us() if tracer is not None else 0.0
         phase_size = len(live)
         reached = 0
         for _ in range(phase_size):
@@ -210,6 +220,14 @@ def _advance_barrier_phases(kernel: KernelSpec, gens: Iterable,
             )
         if reached:
             stats.barrier_phases += 1
+        if tracer is not None:
+            tracer.complete(
+                f"{kernel.name}:barrier-phase", "barrier-phase",
+                phase_start, tracer.now_us() - phase_start,
+                phase=phase_index, participants=phase_size,
+                reached_barrier=bool(reached), grid=grid,
+            )
+            phase_index += 1
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +283,7 @@ def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
             raise KernelLaunchError(
                 f"kernel {kernel.name!r} never synchronizes; use run_nd_range")
     stats = ExecutionStats()
+    tracer = current_tracer()
     local_accessors = [a for a in args if isinstance(a, LocalAccessor)]
     for acc in local_accessors:
         acc._begin_group()  # one grid-wide instance
@@ -285,7 +304,14 @@ def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
             stats.items += group_size
             for glob, lid in coords:
                 gens.append(kernel.item_fn(NdItem(glob, lid, group), *args))
-    _advance_barrier_phases(kernel, gens, stats, grid=True)
+    if tracer is None:
+        _advance_barrier_phases(kernel, gens, stats, grid=True)
+    else:
+        with tracer.span(f"{kernel.name}:{stats.path}", "kernel-form",
+                         kernel=kernel.name, path=stats.path, grid=True):
+            _advance_barrier_phases(kernel, gens, stats, grid=True,
+                                    tracer=tracer)
+        _note_execution_metrics(stats)
     for acc in local_accessors:
         acc._end_group()
     return stats
@@ -306,12 +332,25 @@ def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
     stats = ExecutionStats()
     path = _select_path(kernel, force_item, mode)
     stats.path = path
+    tracer = current_tracer()
+    if tracer is None:
+        _run_path(kernel, nd_range, args, path, stats, None)
+    else:
+        with tracer.span(f"{kernel.name}:{path}", "kernel-form",
+                         kernel=kernel.name, path=path):
+            _run_path(kernel, nd_range, args, path, stats, tracer)
+        _note_execution_metrics(stats)
+    return stats
 
+
+def _run_path(kernel: KernelSpec, nd_range: NdRange, args: tuple, path: str,
+              stats: ExecutionStats, tracer) -> None:
+    """Execute one selected path, accumulating into ``stats``."""
     if path == "vector":
         kernel.vector_fn(nd_range, *args)
         stats.groups = nd_range.num_groups()
         stats.items = nd_range.total_items()
-        return stats
+        return
 
     local_accessors = [a for a in args if isinstance(a, LocalAccessor)]
     group_size = nd_range.group_size()
@@ -327,12 +366,12 @@ def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
             stats.items += group_size
             if is_generator:
                 _advance_barrier_phases(kernel, (group_fn(group, *args),),
-                                        stats)
+                                        stats, tracer=tracer)
             else:
                 group_fn(group, *args)
             for acc in local_accessors:
                 acc._end_group()
-        return stats
+        return
 
     item_fn = kernel.item_fn
     is_generator = inspect.isgeneratorfunction(item_fn)
@@ -353,11 +392,21 @@ def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
                 [item_fn(NdItem(glob, lid, group), *args)
                  for glob, lid in coords],
                 stats,
+                tracer=tracer,
             )
 
         for acc in local_accessors:
             acc._end_group()
-    return stats
+
+
+def _note_execution_metrics(stats: ExecutionStats) -> None:
+    """Fold one launch's stats into the metrics registry (traced runs)."""
+    _metrics.counter("executor.launches").inc()
+    _metrics.counter("executor.items").inc(stats.items)
+    _metrics.counter("executor.groups").inc(stats.groups)
+    _metrics.counter("executor.barrier_phases").inc(stats.barrier_phases)
+    _metrics.counter("executor.gen_advances").inc(stats.gen_advances)
+    _metrics.counter(f"executor.path.{stats.path}").inc()
 
 
 def run_single_task(kernel: KernelSpec, args: tuple) -> ExecutionStats:
@@ -370,15 +419,21 @@ def run_single_task(kernel: KernelSpec, args: tuple) -> ExecutionStats:
     stats = ExecutionStats()
     stats.path = "single_task"
     fn = kernel.vector_fn or kernel.item_fn
-    result = fn(*args)
-    if inspect.isgenerator(result):
-        # Drain a generator-style kernel; any yield means it blocked on a
-        # pipe with no co-scheduled producer.
-        for _ in result:
-            raise KernelLaunchError(
-                f"single-task kernel {kernel.name!r} blocked on a pipe; "
-                "submit it through a DataflowGraph instead"
-            )
+    tracer = current_tracer()
+    with (tracer.span(f"{kernel.name}:single_task", "kernel-form",
+                      kernel=kernel.name, path="single_task")
+          if tracer is not None else _null_context()):
+        result = fn(*args)
+        if inspect.isgenerator(result):
+            # Drain a generator-style kernel; any yield means it blocked
+            # on a pipe with no co-scheduled producer.
+            for _ in result:
+                raise KernelLaunchError(
+                    f"single-task kernel {kernel.name!r} blocked on a pipe; "
+                    "submit it through a DataflowGraph instead"
+                )
+    if tracer is not None:
+        _note_execution_metrics(stats)
     stats.groups = 1
     stats.items = 1
     return stats

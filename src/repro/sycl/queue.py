@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..common.errors import InvalidParameterError, KernelLaunchError
+from ..trace.metrics import registry as _trace_metrics
+from ..trace.spans import current_tracer
 from .buffer import Accessor, Buffer, LocalAccessor
 from .device import Aspect, Device, device as get_device
 from .event import CommandKind, Event
@@ -175,10 +177,16 @@ class Queue:
         profiling queries raise (the DPCT-helper limitation in §3.2.2).
     timing:
         Timing model; defaults to :class:`SpecTiming`.
+    default_mode:
+        Execution path applied to every launch whose kernel implements
+        it (``"vector"``/``"group"``/``"item"``); kernels without that
+        form keep the automatic selection.  This is how the differential
+        tests pin one kernel form across a whole ``run_sycl`` pipeline.
     """
 
     def __init__(self, dev: Device | str | None = None, *,
-                 enable_profiling: bool = True, timing=None):
+                 enable_profiling: bool = True, timing=None,
+                 default_mode: str | None = None):
         if dev is None:
             from .device import select_device
 
@@ -190,6 +198,14 @@ class Queue:
         if self.profiling:
             dev.require(Aspect.QUEUE_PROFILING)
         self.timing = timing or SpecTiming(dev)
+        if default_mode in ("auto", ""):
+            default_mode = None
+        if default_mode is not None and default_mode not in ("vector",
+                                                             "group", "item"):
+            raise InvalidParameterError(
+                f"unknown default_mode {default_mode!r}; "
+                "expected vector/group/item/auto")
+        self.default_mode = default_mode
         #: modeled device clock, nanoseconds
         self.now_ns: int = 0
         self.timeline: list[TimelineEntry] = []
@@ -218,6 +234,19 @@ class Queue:
             bytes=nbytes,
         )
         self.timeline.append(TimelineEntry(event=ev, overhead_s=overhead_s, stats=stats))
+        tracer = current_tracer()
+        if tracer is not None:
+            # modeled device clock, side by side with the wall spans:
+            # ts/dur come from the queue's nanosecond timeline, on a
+            # dedicated tid so the clock domains never nest.
+            tracer.complete(
+                name, "modeled", submit / 1e3, (end - submit) / 1e3,
+                tid=f"modeled:{self.device.spec.key}",
+                kind=kind.value if hasattr(kind, "value") else str(kind),
+                device_us=(end - start) / 1e3,
+                overhead_us=(start - submit) / 1e3,
+                bytes=nbytes,
+            )
         return ev
 
     # -- submission API ----------------------------------------------------
@@ -277,9 +306,44 @@ class Queue:
             moved += acc.buffer._touch_device(acc.writable, discard=acc.noinit)
         return moved
 
+    def _resolve_mode(self, kernel: KernelSpec, mode: str | None) -> str | None:
+        """Apply the queue's ``default_mode`` when the launch does not
+        pin one and the kernel implements that form."""
+        if mode is not None or self.default_mode is None:
+            return mode
+        if (kernel.kind == KernelKind.ND_RANGE
+                and getattr(kernel, f"{self.default_mode}_fn") is not None):
+            return self.default_mode
+        return None
+
     def _launch(self, kernel: KernelSpec, nd_range: NdRange | None, args: tuple,
                 profile, handler: Handler | None, force_item: bool,
                 mode: str | None = None) -> Event:
+        mode = self._resolve_mode(kernel, mode)
+        tracer = current_tracer()
+        if tracer is None:
+            return self._launch_inner(kernel, nd_range, args, profile, handler,
+                                      force_item, mode)
+        with tracer.span(f"launch:{kernel.name}", "launch",
+                         kernel=kernel.name, device=self.device.spec.name) as sp:
+            event = self._launch_inner(kernel, nd_range, args, profile,
+                                       handler, force_item, mode)
+            entry = self.timeline[-1]
+            sp.args.update(
+                path=entry.stats.path if entry.stats else "?",
+                items=entry.stats.items if entry.stats else 0,
+                groups=entry.stats.groups if entry.stats else 0,
+                barrier_phases=entry.stats.barrier_phases if entry.stats else 0,
+                modeled_device_us=entry.device_s * 1e6,
+                modeled_overhead_us=entry.overhead_s * 1e6,
+            )
+        _trace_metrics.histogram("queue.launch_wall_us").observe(
+            tracer.now_us() - sp.start_us)
+        return event
+
+    def _launch_inner(self, kernel: KernelSpec, nd_range: NdRange | None,
+                      args: tuple, profile, handler: Handler | None,
+                      force_item: bool, mode: str | None) -> Event:
         h2d = self._buffer_transfers(args, handler)
         if h2d:
             self.counters.note_memcpy(h2d)
@@ -316,10 +380,16 @@ class Queue:
         src_arr = src.array() if hasattr(src, "array") else src
         if nbytes is None:
             nbytes = min(dst_arr.nbytes, src_arr.nbytes)
+        tracer = current_tracer()
+        copy_start = tracer.now_us() if tracer is not None else 0.0
         count = nbytes // dst_arr.dtype.itemsize
         flat_dst = dst_arr.reshape(-1)
         flat_src = src_arr.reshape(-1)
         flat_dst[:count] = flat_src[:count].astype(dst_arr.dtype, copy=False)
+        if tracer is not None:
+            tracer.complete("memcpy", "transfer", copy_start,
+                            tracer.now_us() - copy_start, bytes=nbytes)
+            _trace_metrics.counter("sycl.memcpy_bytes").inc(nbytes)
         self.counters.note_memcpy(nbytes)
         dur = self.timing.transfer_duration_s(nbytes, CommandKind.MEMCPY_H2D)
         return self._record(CommandKind.MEMCPY_H2D, "memcpy", dur, 0.0, nbytes=nbytes)

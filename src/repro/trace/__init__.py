@@ -1,0 +1,31 @@
+"""Execution tracing and metrics for the reproduction.
+
+Hierarchical spans (run → app → launch → kernel-form → barrier-phase,
+plus modeled-clock spans from the queue and the perf model), a
+process-wide metrics registry, and Chrome-trace JSON export.  See
+docs/observability.md.
+"""
+
+from .export import (dumps_chrome_trace, launch_table, to_chrome_trace,
+                     write_chrome_trace)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from .spans import (Span, Tracer, current_tracer, install_tracer, span,
+                    tracing)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "span",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "to_chrome_trace",
+    "dumps_chrome_trace",
+    "write_chrome_trace",
+    "launch_table",
+]

@@ -1,0 +1,139 @@
+"""FigureCache robustness: corrupt entries and concurrent writers.
+
+The cache is allowed to *lose* entries (every loss is just a recompute)
+but never to return a wrong value, raise on damaged files, or leave a
+damaged file in place where it would be re-read forever.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.harness.resultdb import FigureCache
+
+_VALUE = {"speedup": [1.0, 2.5], "meta": ("NW", 1)}
+
+
+def _cache(tmp_path) -> FigureCache:
+    # pinned fingerprint: these tests are about storage, not invalidation
+    return FigureCache(root=tmp_path, fingerprint="test")
+
+
+def _entry_path(cache: FigureCache, **parts):
+    return cache._path(cache.key_for(**parts))
+
+
+def test_roundtrip(tmp_path):
+    cache = _cache(tmp_path)
+    assert cache.get(fig="fig2", cell=0) is None
+    cache.put(_VALUE, fig="fig2", cell=0)
+    assert cache.get(fig="fig2", cell=0) == _VALUE
+    assert cache.stats()["hits"] == 1
+
+
+def test_truncated_entry_is_dropped_and_recomputable(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_VALUE, fig="fig2", cell=0)
+    path = _entry_path(cache, fig="fig2", cell=0)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+    assert cache.get(fig="fig2", cell=0) is None
+    assert not path.exists()  # the damaged file must not linger
+    # and the slot is immediately reusable
+    cache.put(_VALUE, fig="fig2", cell=0)
+    assert cache.get(fig="fig2", cell=0) == _VALUE
+
+
+def test_bad_json_entry_returns_none(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_VALUE, fig="fig2", cell=0)
+    path = _entry_path(cache, fig="fig2", cell=0)
+    path.write_text("not json {{{")
+    assert cache.get(fig="fig2", cell=0) is None
+    assert not path.exists()
+
+
+def test_valid_json_wrong_shape_returns_none(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_VALUE, fig="fig2", cell=0)
+    path = _entry_path(cache, fig="fig2", cell=0)
+    path.write_text(json.dumps({"schema": 1}))  # no "value" key
+    assert cache.get(fig="fig2", cell=0) is None
+    assert not path.exists()
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = FigureCache(root=tmp_path / "never", enabled=False,
+                        fingerprint="test")
+    cache.put(_VALUE, fig="fig2", cell=0)
+    assert cache.get(fig="fig2", cell=0) is None
+    assert not (tmp_path / "never").exists()
+
+
+def test_concurrent_writers_same_cell(tmp_path):
+    """Two writers racing the atomic-replace on one cell: no exception,
+    and the surviving file decodes to the (shared) value."""
+    cache = _cache(tmp_path)
+    errors = []
+
+    def writer():
+        try:
+            for _ in range(50):
+                cache.put(_VALUE, fig="fig2", cell=0)
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert cache.get(fig="fig2", cell=0) == _VALUE
+    path = _entry_path(cache, fig="fig2", cell=0)
+    json.loads(path.read_text())  # the on-disk file is intact JSON
+
+
+def test_concurrent_readers_and_writers(tmp_path):
+    """Readers racing writers must only ever observe the value or a
+    miss — never an exception or a partial decode."""
+    cache = _cache(tmp_path)
+    seen = []
+    errors = []
+    stop = threading.Event()
+
+    def writer():
+        try:
+            for _ in range(50):
+                cache.put(_VALUE, fig="fig2", cell=0)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader():
+        try:
+            while not stop.is_set():
+                seen.append(cache.get(fig="fig2", cell=0))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + \
+        [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert all(v is None or v == _VALUE for v in seen)
+
+
+def test_distinct_cells_do_not_collide(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put({"v": 1}, fig="fig2", cell=0)
+    cache.put({"v": 2}, fig="fig2", cell=1)
+    assert cache.get(fig="fig2", cell=0) == {"v": 1}
+    assert cache.get(fig="fig2", cell=1) == {"v": 2}

@@ -1,0 +1,90 @@
+"""Golden-output regression fixtures for the whole Level-2 suite.
+
+Every configuration is run at input size 1 (test scale, seed 0) and the
+``run_sycl`` output arrays are hashed byte-exactly.  The checksums live
+in ``tests/golden/size1_checksums.json``; any executor/queue refactor
+that changes a result — even a bitwise change the tolerance-based
+``verify`` would forgive — fails here loudly instead of silently
+shifting the figures.
+
+Regenerate after an *intentional* numerical change with::
+
+    PYTHONPATH=src REPRO_REGEN_GOLDEN=1 python -m pytest -q tests/test_golden_fixtures.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.altis.registry import APP_FACTORIES
+from repro.harness.runner import run_functional
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "size1_checksums.json"
+_REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def _array_digest(arr) -> dict:
+    arr = np.ascontiguousarray(np.asarray(arr))
+    return {
+        "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+        "shape": list(arr.shape),
+        "dtype": str(arr.dtype),
+    }
+
+
+def _compute_checksums(config: str) -> dict:
+    result = run_functional(config, seed=0)
+    assert result.verified
+    return {key: _array_digest(value)
+            for key, value in sorted(result.outputs.items())}
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("config", sorted(APP_FACTORIES))
+def test_golden_checksums(config):
+    got = _compute_checksums(config)
+    golden = _load_golden()
+    if _REGEN:
+        golden[config] = got
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True)
+                               + "\n")
+        pytest.skip(f"regenerated golden checksums for {config}")
+    assert config in golden, (
+        f"no golden entry for {config!r}; run with REPRO_REGEN_GOLDEN=1")
+    want = golden[config]
+    assert set(got) == set(want), (
+        f"{config}: output keys changed: {sorted(got)} vs {sorted(want)}")
+    for key, digest in want.items():
+        assert got[key] == digest, (
+            f"{config}: output {key!r} drifted from the golden fixture "
+            f"(got {got[key]}, want {digest}); if intentional, regenerate "
+            "with REPRO_REGEN_GOLDEN=1")
+
+
+def test_golden_file_covers_registry():
+    """The fixture file must track the registry exactly — an app added
+    without a golden entry (or a stale entry for a removed app) fails."""
+    if _REGEN:
+        pytest.skip("regenerating")
+    golden = _load_golden()
+    assert set(golden) == set(APP_FACTORIES)
+
+
+def test_golden_runs_are_deterministic():
+    """Same seed, same scale -> byte-identical outputs on repeat runs
+    (the property the whole fixture scheme depends on)."""
+    a = _compute_checksums("KMeans")
+    b = _compute_checksums("KMeans")
+    assert a == b

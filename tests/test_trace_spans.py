@@ -1,0 +1,247 @@
+"""Unit and integration tests for the tracing & metrics layer.
+
+Covers the pieces the property tests don't: the metrics registry, the
+queue/executor/harness span integration on a real benchmark run, trace
+merging across both ``pool_map`` flavours, and the CLI ``--trace``
+export path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.reporting import render_trace_table
+from repro.harness.runner import pool_map, run_functional
+from repro.trace import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    launch_table,
+    span,
+    to_chrome_trace,
+    tracing,
+    write_chrome_trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# Tracer basics
+# ---------------------------------------------------------------------------
+
+def test_span_stack_parents_nested_spans():
+    tracer = Tracer()
+    with tracer.span("outer", "a"):
+        with tracer.span("inner", "b", detail=1):
+            pass
+    inner, outer = tracer.events()
+    assert inner.name == "inner" and outer.name == "outer"
+    assert inner.parent_id == outer.id
+    assert outer.parent_id is None
+    assert inner.args == {"detail": 1}
+
+
+def test_complete_with_tid_is_free_standing():
+    tracer = Tracer()
+    with tracer.span("outer", "a"):
+        modeled = tracer.complete("k", "modeled", 10.0, 5.0,
+                                  tid="modeled:gpu", bytes=64)
+        phase = tracer.complete("p", "barrier-phase", 0.0, 1.0)
+    assert modeled.parent_id is None
+    assert modeled.tid == "modeled:gpu"
+    assert phase.parent_id == tracer.events()[-1].id  # stack-parented
+    assert modeled.args == {"bytes": 64}
+
+
+def test_exception_marks_span_failed():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom", "a"):
+            raise RuntimeError("x")
+    (ev,) = tracer.events()
+    assert ev.args.get("error") is True
+
+
+def test_tracing_context_installs_and_restores():
+    assert current_tracer() is None
+    with tracing() as tracer:
+        assert current_tracer() is tracer
+        with span("via-convenience"):
+            pass
+        assert len(tracer.events()) == 1
+    assert current_tracer() is None
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+def test_metrics_counter_gauge_histogram():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(2.5)
+    reg.gauge("g").set(7)
+    for v in (0.05, 5.0, 5000.0):
+        reg.histogram("h").observe(v)
+    snap = reg.snapshot()
+    assert snap["c"] == {"type": "counter", "value": 3.5}
+    assert snap["g"] == {"type": "gauge", "value": 7.0}
+    h = snap["h"]
+    assert h["count"] == 3 and h["min"] == 0.05 and h["max"] == 5000.0
+    assert sum(h["buckets"]) == 3
+    assert h["mean"] == pytest.approx((0.05 + 5.0 + 5000.0) / 3)
+
+
+def test_metrics_counter_rejects_decrease():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_metrics_name_kind_conflict():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_metrics_reset():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.reset()
+    assert reg.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# Queue / executor / harness integration
+# ---------------------------------------------------------------------------
+
+def test_traced_run_emits_full_hierarchy():
+    with tracing() as tracer:
+        run_functional("NW", mode="group")
+        events = tracer.events()
+    cats = {ev.cat for ev in events}
+    assert {"app", "launch", "kernel-form", "barrier-phase",
+            "transfer", "modeled"} <= cats
+
+    launches = [ev for ev in events if ev.cat == "launch"]
+    app_spans = [ev for ev in events if ev.cat == "app"]
+    assert launches and len(app_spans) == 1
+    for ev in launches:
+        assert ev.parent_id == app_spans[0].id
+        assert ev.args["modeled_device_us"] > 0.0
+        assert ev.args["path"] in ("vector", "group", "item")
+
+    # kernel-form segments sit under their launch span
+    forms = [ev for ev in events if ev.cat == "kernel-form"]
+    launch_ids = {ev.id for ev in launches}
+    assert forms and all(ev.parent_id in launch_ids for ev in forms)
+
+    rows = launch_table(events)
+    assert len(rows) == len(launches)
+    table = render_trace_table(events)
+    assert "needle_block" in table and "total" in table
+
+
+def test_traced_run_updates_metrics():
+    from repro.trace.metrics import registry
+
+    with tracing():
+        run_functional("NW", mode="group")
+    snap = registry.snapshot()
+    assert snap["executor.launches"]["value"] > 0
+    assert snap["queue.launch_wall_us"]["count"] > 0
+    assert snap["harness.staged_bytes"]["value"] > 0
+
+
+def test_untraced_run_records_no_spans():
+    assert current_tracer() is None
+    result = run_functional("NW")
+    assert result.verified
+
+
+# ---------------------------------------------------------------------------
+# pool_map trace merging
+# ---------------------------------------------------------------------------
+
+def _pool_cell(item: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    with span(f"work:{item}", "work", item=item):
+        return item * 10
+
+
+def test_pool_map_merges_thread_worker_spans():
+    with tracing() as tracer:
+        results = pool_map(_pool_cell, range(4), workers=2, mode="thread")
+        events = tracer.events()
+    assert results == [0, 10, 20, 30]
+    cells = [ev for ev in events if ev.cat == "cell"]
+    work = [ev for ev in events if ev.cat == "work"]
+    assert len(cells) == 4 and len(work) == 4
+    cell_ids = {ev.id for ev in cells}
+    assert all(ev.parent_id in cell_ids for ev in work)
+
+
+def test_pool_map_merges_process_worker_spans():
+    with tracing() as tracer:
+        results = pool_map(_pool_cell, range(3), workers=2, mode="process")
+        events = tracer.events()
+    assert results == [0, 10, 20]
+    pids = {ev.pid for ev in events}
+    assert {"cell-0", "cell-1", "cell-2"} <= pids  # one pid per cell
+    work = [ev for ev in events if ev.cat == "work"]
+    assert len(work) == 3
+    by_id = {ev.id: ev for ev in events}
+    for ev in work:  # adopted ids stay linked after the remap
+        assert by_id[ev.parent_id].cat == "cell"
+
+
+def test_pool_map_serial_has_no_cell_wrappers():
+    with tracing() as tracer:
+        results = pool_map(_pool_cell, range(3), workers=1)
+        events = tracer.events()
+    assert results == [0, 10, 20]
+    assert not any(ev.cat == "cell" for ev in events)
+    assert sum(1 for ev in events if ev.cat == "work") == 3
+
+
+# ---------------------------------------------------------------------------
+# Export + CLI
+# ---------------------------------------------------------------------------
+
+def test_write_chrome_trace_with_metrics(tmp_path):
+    tracer = Tracer()
+    with tracer.span("s"):
+        pass
+    path = write_chrome_trace(tmp_path / "t.json", tracer.events(),
+                              metrics={"c": {"type": "counter", "value": 1}})
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["metrics"]["c"]["value"] == 1
+
+
+def test_export_stringifies_unjsonable_args():
+    tracer = Tracer()
+    tracer.complete("k", "x", 0.0, 1.0, tid="t", obj=object())
+    doc = to_chrome_trace(tracer.events())
+    arg = doc["traceEvents"][0]["args"]["obj"]
+    assert isinstance(arg, str) and "object" in arg
+
+
+def test_cli_trace_writes_valid_chrome_trace(tmp_path):
+    out = tmp_path / "nw.json"
+    status = main(["run", "NW", "--trace", "--trace-out", str(out),
+                   "--mode", "group", "--quiet"])
+    assert status == 0
+    assert current_tracer() is None  # CLI restored the disabled state
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    assert events
+    for ev in events:
+        assert ev["ph"] == "X"
+        assert isinstance(ev["ts"], (int, float))
+        assert isinstance(ev["dur"], (int, float))
+    cats = {ev["cat"] for ev in events}
+    assert {"run", "app", "launch", "barrier-phase", "transfer"} <= cats
+    assert "executor.launches" in doc["otherData"]["metrics"]
