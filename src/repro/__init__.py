@@ -14,7 +14,17 @@ Quickstart::
     figure2(optimized=True)           # SYCL-vs-CUDA speedups (Fig. 2)
 """
 
-from . import altis, common, cuda, dpct, fpga, harness, perfmodel, sycl
+from . import (
+    altis,
+    common,
+    cuda,
+    dpct,
+    fpga,
+    harness,
+    perfmodel,
+    resilience,
+    sycl,
+)
 
 __version__ = "1.0.0"
 
@@ -26,6 +36,7 @@ __all__ = [
     "fpga",
     "harness",
     "perfmodel",
+    "resilience",
     "sycl",
     "__version__",
 ]

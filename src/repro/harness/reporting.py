@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from ..altis.base import SIZES
 from ..common.utils import geomean
+from ..resilience import FailedCell
 from ..trace.export import launch_table
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "render_figure5",
     "render_table2",
     "render_trace_table",
+    "render_suite_report",
     "compare_ratio",
 ]
 
@@ -121,6 +123,37 @@ def render_trace_table(events, *, limit: int | None = 40) -> str:
         ovh = sum(r["modeled_overhead_us"] for r in rows)
         lines.append(f"{'total':<24}{'':<8}{'':>9}{'':>8}{'':>8}"
                      f"{wall:>12.1f}{model:>12.2f}{ovh:>10.2f}")
+    return "\n".join(lines)
+
+
+def render_suite_report(results: list) -> str:
+    """The suite sweep report: one line per cell, failures included.
+
+    Successful cells print their modeled kernel/total times; failed
+    cells (:class:`~repro.resilience.FailedCell`, degraded mode) print
+    the error class, attempt count, and message.  The rendering depends
+    only on modeled quantities — never on wall-clock — so a resumed or
+    retry-recovered sweep reproduces the uninterrupted report
+    byte-for-byte.
+    """
+    lines = []
+    ok = 0
+    for r in results:
+        if isinstance(r, FailedCell):
+            name = r.config or r.key
+            lines.append(f"{name:<14} FAIL  {r.error_kind} after "
+                         f"{r.attempts} attempt(s): {r.message}")
+            continue
+        status = "ok" if r.verified else "FAIL"
+        ok += 1 if r.verified else 0
+        lines.append(f"{r.config:<14} {status:<5} "
+                     f"kernel={r.modeled_kernel_s:.3e}s "
+                     f"total={r.modeled_total_s:.3e}s")
+    failed = len(results) - ok
+    summary = f"suite: {ok}/{len(results)} ok"
+    if failed:
+        summary += f", {failed} failed (degraded)"
+    lines.append(summary)
     return "\n".join(lines)
 
 

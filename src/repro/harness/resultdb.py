@@ -29,8 +29,10 @@ from functools import lru_cache
 from pathlib import Path
 
 from ..common.errors import InvalidParameterError
+from ..resilience.faults import cache_read_corrupted as _cache_read_corrupted
 
-__all__ = ["Result", "ResultDB", "FigureCache", "code_fingerprint"]
+__all__ = ["Result", "ResultDB", "FigureCache", "SweepJournal",
+           "code_fingerprint"]
 
 
 @dataclass
@@ -235,10 +237,21 @@ class FigureCache:
         return self.root / f"{key}.json"
 
     def get(self, **parts):
-        """Return the cached value for the cell, or ``None`` on a miss."""
+        """Return the cached value for the cell, or ``None`` on a miss.
+
+        An active :class:`~repro.resilience.faults.FaultPlan` may declare
+        the read corrupted (``cache:corrupt`` rules); the entry is then
+        dropped and the cell recomputes — same degraded path a genuinely
+        torn write takes below.
+        """
         if not self.enabled:
             return None
-        path = self._path(self.key_for(**parts))
+        key = self.key_for(**parts)
+        path = self._path(key)
+        if _cache_read_corrupted(f"figurecache:{key}"):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
         try:
             value = _decode(json.loads(path.read_text())["value"])
         except OSError:
@@ -283,3 +296,56 @@ class FigureCache:
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "root": str(self.root), "enabled": self.enabled}
+
+
+# ---------------------------------------------------------------------------
+# Append-only sweep journal (checkpoint-resume)
+# ---------------------------------------------------------------------------
+
+class SweepJournal:
+    """Durable, append-only journal of completed sweep cells (JSONL).
+
+    Each completed cell is appended as one JSON line and fsync'd before
+    the sweep moves on, so a killed sweep loses at most its in-flight
+    cells; ``suite --resume`` replays the journal and re-executes only
+    what is missing.  :meth:`load` tolerates a torn final line — exactly
+    what a mid-write kill leaves behind — by discarding undecodable
+    lines instead of failing the resume.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (write + flush + fsync)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> list[dict]:
+        """All intact records, in append order; torn lines are skipped."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a killed writer
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def clear(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -4,39 +4,55 @@ and verify the result against the numpy reference.
 This is the "does the suite actually compute the right thing" driver —
 the performance figures come from :mod:`repro.harness.experiments`.
 
-Two harness-level performance facilities live here because both the
-suite sweep and the figure builders use them:
+Three harness-level facilities live here because both the suite sweep
+and the figure builders use them:
 
 * :func:`pool_map` — ordered ``concurrent.futures`` fan-out over
   independent cells (process pool when the function is pickle-safe and
   ``fork`` is available, thread pool otherwise — numpy releases the GIL
-  on the heavy kernels, so threads still overlap);
+  on the heavy kernels, so threads still overlap), with optional
+  per-cell retry/backoff, cooperative timeouts, deterministic fault
+  injection, and error capture into
+  :class:`~repro.resilience.FailedCell` records;
 * :func:`generate_workload` — a content-keyed workload memo
   (``(config, size, seed, scale)``) that returns **deep copies**, since
-  ``run_sycl`` mutates workload arrays in place.
+  ``run_sycl`` mutates workload arrays in place;
+* :func:`run_suite_functional` — the whole-suite sweep, with
+  checkpoint-resume through an append-only
+  :class:`~repro.harness.resultdb.SweepJournal` so a killed sweep loses
+  at most its in-flight cells.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
+                                as_completed)
 from contextlib import nullcontext as _null_context
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..altis.base import AltisApp, Variant, Workload
 from ..altis.registry import make_app
-from ..common.errors import InvalidParameterError
+from ..common.errors import (CellExecutionError, CellTimeoutError,
+                             InvalidParameterError, TransientFaultError)
+from ..resilience import (FailedCell, FaultPlan, RetryPolicy, call_with_retry,
+                          poll as _fault_poll)
 from ..sycl import Queue, device
 from ..trace.metrics import registry as _trace_metrics
 from ..trace.spans import Tracer, current_tracer, install_tracer
+from .resultdb import SweepJournal
 
 __all__ = [
     "RunResult",
+    "CellOutcome",
     "run_functional",
     "run_suite_functional",
     "pool_map",
@@ -44,6 +60,8 @@ __all__ = [
     "generate_workload",
     "workload_cache_stats",
     "clear_workload_cache",
+    "journal_record",
+    "result_from_record",
 ]
 
 #: per-config functional test scale: small enough for CI, large enough
@@ -97,73 +115,223 @@ def resolve_pool_mode(fn: Callable, mode: str = "auto") -> str:
 
 
 @dataclass
-class _TracedCell:
-    """A pool-worker result bundled with the spans it recorded."""
+class CellOutcome:
+    """Everything one pool cell reports home: the value or a structured
+    failure, attempts burned, injected-fault count, and (for process
+    workers) the trace spans recorded remotely."""
 
-    result: object
-    events: list
+    index: int
+    key: str
+    item: object = None
+    value: object = None
+    error_kind: str | None = None
+    message: str = ""
+    attempts: int = 1
+    injected: int = 0
+    transient: bool = False
+    timed_out: bool = False
+    #: the raw exception (dropped before crossing a process boundary)
+    cause: BaseException | None = None
+    events: list | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error_kind is None
 
 
-def _traced_cell(fn: Callable, item):
-    """Run one pool cell under a fresh worker tracer (module-level so a
-    process pool can pickle it) and ship the spans home with the result."""
-    tracer = Tracer(pid="worker")
-    previous = install_tracer(tracer)
-    try:
-        with tracer.span(f"cell:{item}", "cell"):
-            result = fn(item)
-    finally:
-        install_tracer(previous)
-    return _TracedCell(result=result, events=tracer.events())
+def _run_cell(fn: Callable, item, index: int, key: str,
+              retry: RetryPolicy | None, cell_timeout: float | None,
+              plan: FaultPlan | None) -> CellOutcome:
+    """Run one cell under the full resilience stack: a ``cell`` trace
+    span, per-attempt fault scope + deadline, retry with backoff, and
+    structured failure capture (never raises)."""
+    from ..resilience import current_cell
 
+    calls = [0]
 
-def _shared_traced_cell(fn: Callable, item):
-    """Thread-pool flavour of :func:`_traced_cell`: the worker thread
-    shares the process tracer, so only the cell span is added."""
+    def attempt():
+        calls[0] += 1
+        _fault_poll("cell", key, phase="pre")
+        result = fn(item)
+        _fault_poll("cell", key, phase="post")
+        return result
+
     tracer = current_tracer()
-    if tracer is None:
-        return fn(item)
-    with tracer.span(f"cell:{item}", "cell"):
-        return fn(item)
+    cell_cm = (tracer.span(f"cell:{key}", "cell")
+               if tracer is not None else _null_context())
+    injected_before = current_cell().injected
+    with cell_cm:
+        try:
+            value = call_with_retry(attempt, policy=retry, key=key,
+                                    deadline_s=cell_timeout, plan=plan)
+            outcome = CellOutcome(index=index, key=key, item=item,
+                                  value=value, attempts=max(1, calls[0]))
+        except Exception as exc:  # structured capture; caller decides
+            outcome = CellOutcome(
+                index=index, key=key, item=item,
+                error_kind=type(exc).__name__, message=str(exc),
+                attempts=max(1, calls[0]), cause=exc,
+                transient=isinstance(exc, TransientFaultError),
+                timed_out=isinstance(exc, CellTimeoutError))
+    outcome.injected = current_cell().injected - injected_before
+    return outcome
+
+
+def _pool_cell(fn: Callable, retry, cell_timeout, plan, traced: str | None,
+               strip_cause: bool, spec: tuple) -> CellOutcome:
+    """Pool-worker entry (module-level so a process pool can pickle it).
+    ``traced="process"`` runs under a private tracer whose spans ship
+    home in the outcome; ``"shared"`` records into the process tracer."""
+    index, key, item = spec
+    if traced == "process":
+        tracer = Tracer(pid="worker")
+        previous = install_tracer(tracer)
+        try:
+            outcome = _run_cell(fn, item, index, key, retry, cell_timeout,
+                                plan)
+        finally:
+            install_tracer(previous)
+        outcome.events = tracer.events()
+    else:
+        outcome = _run_cell(fn, item, index, key, retry, cell_timeout, plan)
+    if strip_cause:
+        outcome.cause = None  # exceptions may not survive pickling
+        outcome.item = None
+    return outcome
+
+
+def _account_outcomes(outcomes: list) -> None:
+    """Fold a batch of cell outcomes into the ``resilience.*`` counters
+    (parent-side, so process-pool cells are counted too)."""
+    _trace_metrics.counter("resilience.cells").inc(len(outcomes))
+    retries = sum(max(0, o.attempts - 1) for o in outcomes)
+    if retries:
+        _trace_metrics.counter("resilience.cell_retries").inc(retries)
+    injected = sum(o.injected for o in outcomes)
+    if injected:
+        _trace_metrics.counter("resilience.cell_faults").inc(injected)
+    failed = sum(1 for o in outcomes if not o.ok)
+    if failed:
+        _trace_metrics.counter("resilience.failed_cells").inc(failed)
+
+
+def _collect_outcomes(outcomes: list, capture_errors: bool) -> list:
+    """Turn outcomes into results: failures become
+    :class:`~repro.resilience.FailedCell` records (``capture_errors``)
+    or raise a :class:`CellExecutionError` carrying the cell identity."""
+    results = []
+    first_error: CellOutcome | None = None
+    for outcome in outcomes:
+        if outcome.ok:
+            results.append(outcome.value)
+            continue
+        if capture_errors:
+            results.append(FailedCell(
+                key=outcome.key, index=outcome.index,
+                error_kind=outcome.error_kind, message=outcome.message,
+                attempts=outcome.attempts, transient=outcome.transient,
+                timed_out=outcome.timed_out))
+        elif first_error is None:
+            first_error = outcome
+    if first_error is not None:
+        raise CellExecutionError(
+            f"pool cell {first_error.index} ({first_error.key!r}) failed "
+            f"after {first_error.attempts} attempt(s): "
+            f"{first_error.error_kind}: {first_error.message}",
+            key=first_error.key, index=first_error.index,
+            attempts=first_error.attempts) from first_error.cause
+    return results
 
 
 def pool_map(fn: Callable, items: Sequence | Iterable, *,
-             workers: int | None = None, mode: str = "auto") -> list:
+             workers: int | None = None, mode: str = "auto",
+             retry: RetryPolicy | None = None,
+             cell_timeout: float | None = None,
+             fault_plan: FaultPlan | None = None,
+             capture_errors: bool = False,
+             cell_key: Callable | None = None,
+             on_result: Callable | None = None) -> list:
     """Map ``fn`` over ``items`` with a worker pool, preserving order.
 
     ``workers=None`` or ``workers <= 1`` runs serially (no pool
     overhead, exact seed behavior).  Results always come back in input
-    order regardless of completion order — ``Executor.map`` guarantees
-    it — so sweeps stay deterministic under parallelism.
+    order regardless of completion order, so sweeps stay deterministic
+    under parallelism.
 
     When a tracer is active the trace context crosses the pool: thread
     workers record straight into the shared tracer (distinct ``tid`` per
     worker thread); process workers run under a private tracer whose
     spans are adopted into the parent trace afterwards, so a parallel
     sweep always yields one merged trace.
+
+    The resilience options thread each cell through
+    :mod:`repro.resilience`: ``retry`` retries transient failures with
+    deterministic backoff, ``cell_timeout`` arms a cooperative
+    per-attempt deadline, ``fault_plan`` injects reproducible faults,
+    and ``capture_errors=True`` degrades failed cells into
+    :class:`~repro.resilience.FailedCell` records in the result list
+    instead of aborting the map.  A worker exception that does propagate
+    is raised as :class:`CellExecutionError` carrying the cell's key and
+    index — never a bare re-raise.  ``on_result`` is invoked in the
+    parent with each :class:`CellOutcome` as it completes (completion
+    order), which is how the suite journals finished cells before the
+    sweep ends.
+
+    >>> pool_map(str, [1, 2, 3])
+    ['1', '2', '3']
+    >>> pool_map(len, ["aa", "b", "cccc"], workers=2, mode="thread")
+    [2, 1, 4]
     """
     items = list(items)
+    resilient = (retry is not None or cell_timeout is not None
+                 or fault_plan is not None or capture_errors
+                 or on_result is not None)
     if workers is None or workers <= 1 or len(items) <= 1:
-        return [fn(it) for it in items]
+        if not resilient:
+            return [fn(it) for it in items]
+        keys = [str(cell_key(it) if cell_key else it) for it in items]
+        outcomes = []
+        for i, item in enumerate(items):
+            outcome = _run_cell(fn, item, i, keys[i], retry, cell_timeout,
+                                fault_plan)
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+            if not capture_errors and not outcome.ok:
+                break  # abort mode fails fast; earlier cells stay journaled
+        _account_outcomes(outcomes)
+        return _collect_outcomes(outcomes, capture_errors)
+
     workers = min(workers, len(items))
     pool_mode = resolve_pool_mode(fn, mode)
     tracer = current_tracer()
-    traced_process = tracer is not None and pool_mode == "process"
-    mapped = fn
-    if tracer is not None:
-        mapped = partial(_traced_cell if traced_process
-                         else _shared_traced_cell, fn)
+    traced = (None if tracer is None
+              else "process" if pool_mode == "process" else "shared")
+    keys = [str(cell_key(it) if cell_key else it) for it in items]
+    mapped = partial(_pool_cell, fn, retry, cell_timeout, fault_plan, traced,
+                     pool_mode == "process")
     pool_cls = (ProcessPoolExecutor if pool_mode == "process"
                 else ThreadPoolExecutor)
+    slots: list = [None] * len(items)
     with pool_cls(max_workers=workers) as pool:
-        results = list(pool.map(mapped, items))
-    if traced_process:
-        unwrapped = []
-        for i, cell in enumerate(results):
-            tracer.adopt(cell.events, pid=f"cell-{i}")
-            unwrapped.append(cell.result)
-        return unwrapped
-    return results
+        futures = {pool.submit(mapped, (i, keys[i], item)): i
+                   for i, item in enumerate(items)}
+        for future in as_completed(futures):
+            outcome = future.result()  # _pool_cell never raises
+            slots[futures[future]] = outcome
+            if on_result is not None:
+                on_result(outcome)
+            if not capture_errors and not outcome.ok:
+                for pending in futures:  # abort mode: stop scheduling
+                    pending.cancel()
+    outcomes = [o for o in slots if o is not None]
+    if traced == "process":
+        for outcome in outcomes:
+            if outcome.events:
+                tracer.adopt(outcome.events, pid=f"cell-{outcome.index}")
+    if resilient:
+        _account_outcomes(outcomes)
+    return _collect_outcomes(outcomes, capture_errors)
 
 
 # ---------------------------------------------------------------------------
@@ -251,7 +419,8 @@ class RunResult:
     verified: bool
     modeled_kernel_s: float
     modeled_total_s: float
-    workload: Workload
+    #: ``None`` for results reconstructed from a resume journal
+    workload: Workload | None = None
     #: the arrays ``run_sycl`` returned (golden-fixture checksums hash these)
     outputs: dict | None = None
 
@@ -264,6 +433,14 @@ def run_functional(config: str, device_key: str = "rtx2080",
 
     ``mode`` pins one executor path (vector/group/item) for every launch
     whose kernel implements it — the differential tests' entry point.
+
+    >>> result = run_functional("NW", seed=0)
+    >>> result.verified
+    True
+    >>> result.config, result.device_key
+    ('NW', 'rtx2080')
+    >>> result.modeled_kernel_s > 0
+    True
     """
     tracer = current_tracer()
     app_span = (tracer.span(f"app:{config}", "app", config=config,
@@ -296,16 +473,121 @@ def run_functional(config: str, device_key: str = "rtx2080",
     )
 
 
+# ---------------------------------------------------------------------------
+# Suite sweep with checkpoint-resume
+# ---------------------------------------------------------------------------
+
+def journal_record(result: RunResult, mode: str | None = None) -> dict:
+    """Serialize one completed suite cell for the append-only journal.
+
+    Modeled times round-trip exactly through JSON (``repr``-based float
+    encoding), and the output arrays are captured as SHA-256 digests so
+    a resumed sweep can still prove its cells match the golden fixtures.
+    """
+    digests = {}
+    for name, arr in sorted((result.outputs or {}).items()):
+        arr = np.ascontiguousarray(np.asarray(arr))
+        digests[name] = hashlib.sha256(arr.tobytes()).hexdigest()
+    return {
+        "status": "done",
+        "config": result.config,
+        "device": result.device_key,
+        "variant": result.variant.value,
+        "mode": mode or "auto",
+        "verified": bool(result.verified),
+        "kernel_s": result.modeled_kernel_s,
+        "total_s": result.modeled_total_s,
+        "digests": digests,
+    }
+
+
+def result_from_record(record: dict) -> RunResult:
+    """Rebuild a report-grade :class:`RunResult` from a journal record
+    (no workload/outputs — those belong to the run that computed them)."""
+    return RunResult(
+        config=record["config"],
+        device_key=record["device"],
+        variant=Variant(record["variant"]),
+        verified=bool(record["verified"]),
+        modeled_kernel_s=float(record["kernel_s"]),
+        modeled_total_s=float(record["total_s"]),
+    )
+
+
 def run_suite_functional(device_key: str = "rtx2080",
                          variant: Variant = Variant.SYCL_OPT, *,
                          workers: int | None = None,
                          pool_mode: str = "auto",
-                         mode: str | None = None) -> list[RunResult]:
+                         mode: str | None = None,
+                         retry: RetryPolicy | None = None,
+                         cell_timeout: float | None = None,
+                         fault_plan: FaultPlan | None = None,
+                         degrade: bool = False,
+                         journal: SweepJournal | str | os.PathLike | None = None,
+                         resume: bool = False) -> list:
     """Run every configuration once (the 'does it all work' sweep).
 
     Results are returned in suite (``_DEFAULT_SCALES``) order no matter
     which worker finishes first.
+
+    Fault tolerance (all off by default — the plain sweep behaves
+    exactly as before):
+
+    * ``retry``/``cell_timeout``/``fault_plan`` — per-cell recovery and
+      deterministic fault injection (see :mod:`repro.resilience`);
+    * ``degrade=True`` — a cell that exhausts recovery becomes a
+      :class:`~repro.resilience.FailedCell` entry in the returned list
+      instead of aborting the sweep;
+    * ``journal`` (+ ``resume=True``) — completed cells are fsync'd to
+      an append-only :class:`~repro.harness.resultdb.SweepJournal` as
+      they finish; a resumed sweep re-executes only the cells the
+      journal is missing (skips are counted on
+      ``resilience.cells_resumed``) and merges journaled results back in
+      suite order, byte-identical to an uninterrupted run.
     """
+    configs = list(_DEFAULT_SCALES)
+    if journal is not None and not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    done: dict[str, dict] = {}
+    if journal is not None and resume:
+        for record in journal.load():
+            if (record.get("status") == "done"
+                    and record.get("device") == device_key
+                    and record.get("variant") == variant.value
+                    and record.get("mode") == (mode or "auto")
+                    and record.get("config") in _DEFAULT_SCALES):
+                done[record["config"]] = record
+    if done:
+        _trace_metrics.counter("resilience.cells_resumed").inc(len(done))
+    pending = [c for c in configs if c not in done]
+
     fn = partial(run_functional, device_key=device_key, variant=variant,
                  mode=mode)
-    return pool_map(fn, list(_DEFAULT_SCALES), workers=workers, mode=pool_mode)
+    resilient = (retry is not None or cell_timeout is not None
+                 or fault_plan is not None or degrade or journal is not None)
+    if not resilient:
+        return pool_map(fn, configs, workers=workers, mode=pool_mode)
+
+    on_result = None
+    if journal is not None:
+        def on_result(outcome: CellOutcome) -> None:
+            if outcome.ok:
+                journal.append(journal_record(outcome.value, mode=mode))
+
+    fresh = pool_map(fn, pending, workers=workers, mode=pool_mode,
+                     retry=retry, cell_timeout=cell_timeout,
+                     fault_plan=fault_plan, capture_errors=degrade,
+                     on_result=on_result)
+    by_config = dict(zip(pending, fresh))
+    merged = []
+    for config in configs:
+        if config in done:
+            merged.append(result_from_record(done[config]))
+            continue
+        result = by_config[config]
+        if isinstance(result, FailedCell):
+            result.config = config
+            result.device_key = device_key
+            result.variant = variant.value
+        merged.append(result)
+    return merged

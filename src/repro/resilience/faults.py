@@ -1,0 +1,338 @@
+"""Deterministic fault injection for harness sweeps.
+
+A :class:`FaultPlan` describes *where* failures happen (``cell`` —
+a ``pool_map`` sweep cell, ``launch`` — an executor kernel launch,
+``cache`` — a :class:`~repro.harness.resultdb.FigureCache` read), *what*
+happens there (``exception``, ``timeout``, ``corrupt``, ``slow``), and
+*how often*.  Every decision is a stateless draw from the suite's shared
+counter-based RNG (:class:`repro.common.rng.Philox4x32`) keyed by the
+plan seed and the fault coordinate, so:
+
+* the same plan injects the **same faults on every run** — across
+  serial, thread-pool, and process-pool execution;
+* a fault is keyed by its *cell*, not its *attempt*: a transient rule
+  (``persist=1``) fires on the first attempt and clears on retry, which
+  is what makes ``--retries`` recover a faulted sweep to a byte-identical
+  report.
+
+The hooks are zero-cost when disabled: :func:`poll` returns after one
+global read and one thread-local read when no plan is installed and no
+deadline is active.
+
+Example — a plan that crashes ~20% of sweep cells once each::
+
+    >>> plan = FaultPlan.parse("cell:exception:0.2", seed=7)
+    >>> plan.rules[0].kind
+    'exception'
+    >>> plan.decide("cell", "NW", attempt=0) == plan.decide("cell", "NW", attempt=0)
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..common.errors import (CellTimeoutError, CorruptedOutputError,
+                             InjectedFaultError, InvalidParameterError)
+from ..common.rng import Philox4x32
+from ..trace.metrics import registry as _metrics
+from ..trace.spans import current_tracer
+
+__all__ = [
+    "SITES",
+    "KINDS",
+    "FaultRule",
+    "FaultPlan",
+    "Deadline",
+    "deterministic_uniform",
+    "current_fault_plan",
+    "install_fault_plan",
+    "fault_injection",
+    "cell_scope",
+    "current_cell",
+    "poll",
+    "cache_read_corrupted",
+]
+
+SITES = ("cell", "launch", "cache")
+KINDS = ("exception", "timeout", "corrupt", "slow")
+
+
+def deterministic_uniform(seed: int, *parts) -> float:
+    """A uniform in (0, 1] fully determined by ``(seed, parts)``.
+
+    The 128-bit Philox counter is set from a digest of ``parts``, so
+    every fault coordinate owns an independent, stateless draw —
+    identical across threads, processes, and re-runs.
+
+    >>> deterministic_uniform(0, "cell", "NW") == deterministic_uniform(0, "cell", "NW")
+    True
+    >>> 0.0 < deterministic_uniform(3, "launch", "kmeans_assign") <= 1.0
+    True
+    """
+    digest = hashlib.sha256(
+        "\x1f".join(str(p) for p in parts).encode()).digest()
+    rng = Philox4x32(seed)
+    rng.counter = [int.from_bytes(digest[4 * i:4 * i + 4], "little")
+                   for i in range(4)]
+    return rng.uniform_float()
+
+
+class Deadline:
+    """A cooperative per-cell deadline (the sweep's worker watchdog).
+
+    Checked by :func:`poll` at every instrumented site (cell entry/exit,
+    each kernel launch), so a hung or injected-slow cell fails with
+    :class:`CellTimeoutError` at the next checkpoint instead of stalling
+    the sweep.
+    """
+
+    __slots__ = ("seconds", "_t0", "_clock")
+
+    def __init__(self, seconds: float, clock=time.monotonic):
+        if seconds <= 0:
+            raise InvalidParameterError(
+                f"deadline must be positive, got {seconds!r}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._t0 = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: fire ``kind`` at ``site`` with probability
+    ``rate`` per distinct key, on attempts ``< persist``."""
+
+    site: str
+    kind: str
+    rate: float
+    #: fires while ``attempt < persist`` — 1 is a transient fault (one
+    #: retry recovers it), a large value is a permanent fault
+    persist: int = 1
+    #: sleep duration of ``slow`` faults
+    delay_s: float = 0.0
+    #: substring filter on the fault key ("" matches every key)
+    match: str = ""
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise InvalidParameterError(
+                f"unknown fault site {self.site!r}; expected one of {SITES}")
+        if self.kind not in KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise InvalidParameterError(
+                f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.persist < 1:
+            raise InvalidParameterError(
+                f"persist must be >= 1, got {self.persist!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of :class:`FaultRule`\\ s plus the decision seed.
+
+    Frozen and picklable, so a plan crosses process-pool boundaries and
+    every worker reaches identical decisions.
+    """
+
+    seed: int = 0
+    rules: tuple = ()
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Format: comma-separated rules ``site:kind:rate`` with optional
+        ``:persist=N``, ``:delay=S``, ``:match=SUBSTR`` suffixes, e.g.
+        ``"cell:exception:0.2,launch:slow:0.1:delay=0.01"``.
+        """
+        rules = []
+        for chunk in filter(None, (c.strip() for c in spec.split(","))):
+            fields = chunk.split(":")
+            if len(fields) < 3:
+                raise InvalidParameterError(
+                    f"fault rule {chunk!r} must be site:kind:rate[:opt=v...]")
+            site, kind, rate = fields[0], fields[1], float(fields[2])
+            opts: dict = {}
+            for opt in fields[3:]:
+                name, _, value = opt.partition("=")
+                if name == "persist":
+                    opts["persist"] = int(value)
+                elif name == "delay":
+                    opts["delay_s"] = float(value)
+                elif name == "match":
+                    opts["match"] = value
+                else:
+                    raise InvalidParameterError(
+                        f"unknown fault-rule option {name!r} in {chunk!r}")
+            rules.append(FaultRule(site=site, kind=kind, rate=rate, **opts))
+        if not rules:
+            raise InvalidParameterError(f"empty fault spec {spec!r}")
+        return cls(seed=seed, rules=tuple(rules))
+
+    def decide(self, site: str, key: str, attempt: int = 0) -> list:
+        """The rules firing at ``(site, key, attempt)`` — pure function
+        of the plan, so callers can predict injections exactly."""
+        fired = []
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if rule.match and rule.match not in key:
+                continue
+            if attempt >= rule.persist:
+                continue
+            draw = deterministic_uniform(
+                self.seed, index, rule.site, rule.kind, key)
+            if draw <= rule.rate:
+                fired.append(rule)
+        return fired
+
+
+# ---------------------------------------------------------------------------
+# Active plan + per-cell context
+# ---------------------------------------------------------------------------
+
+_ACTIVE_PLAN: FaultPlan | None = None
+
+
+class _CellContext(threading.local):
+    """Per-thread cell coordinates: the retry attempt in flight, the
+    cooperative deadline, an optional cell-scoped plan override, and a
+    running injected-fault count."""
+
+    key = ""
+    attempt = 0
+    deadline: Deadline | None = None
+    plan: FaultPlan | None = None
+    injected = 0
+
+
+_CTX = _CellContext()
+
+
+def current_fault_plan() -> FaultPlan | None:
+    """The plan visible at the call site (cell-scoped, else global)."""
+    return _CTX.plan if _CTX.plan is not None else _ACTIVE_PLAN
+
+
+def install_fault_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` process-wide; returns the previous one."""
+    global _ACTIVE_PLAN
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    return previous
+
+
+@contextmanager
+def fault_injection(plan: FaultPlan):
+    """``with fault_injection(plan):`` — install and restore."""
+    previous = install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(previous)
+
+
+def current_cell() -> _CellContext:
+    return _CTX
+
+
+@contextmanager
+def cell_scope(key: str = "", attempt: int = 0,
+               deadline: Deadline | None = None,
+               plan: FaultPlan | None = None):
+    """Scope one cell attempt: sites polled inside see this key/attempt/
+    deadline, and a cell-local plan that works in any pool mode."""
+    prev = (_CTX.key, _CTX.attempt, _CTX.deadline, _CTX.plan)
+    _CTX.key, _CTX.attempt, _CTX.deadline, _CTX.plan = (
+        key, attempt, deadline, plan if plan is not None else _CTX.plan)
+    try:
+        yield _CTX
+    finally:
+        _CTX.key, _CTX.attempt, _CTX.deadline, _CTX.plan = prev
+
+
+def _check_deadline(site: str, key: str) -> None:
+    deadline = _CTX.deadline
+    if deadline is not None and deadline.expired():
+        _metrics.counter("resilience.cell_timeouts").inc()
+        raise CellTimeoutError(
+            f"cell {_CTX.key or key!r} exceeded its {deadline.seconds:g}s "
+            f"deadline (checked at {site}:{key}, attempt {_CTX.attempt})")
+
+
+def _enact(rule: FaultRule, site: str, key: str) -> None:
+    _CTX.injected += 1
+    _metrics.counter("resilience.faults_injected").inc()
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.complete(f"fault:{rule.kind}", "fault", tracer.now_us(), 0.0,
+                        site=site, key=key, attempt=_CTX.attempt)
+    if rule.kind == "slow":
+        time.sleep(rule.delay_s)
+        _check_deadline(site, key)
+        return
+    if rule.kind == "exception":
+        raise InjectedFaultError(
+            f"injected exception at {site}:{key} (attempt {_CTX.attempt})")
+    if rule.kind == "timeout":
+        _metrics.counter("resilience.cell_timeouts").inc()
+        raise CellTimeoutError(
+            f"injected worker hang at {site}:{key} blew the cell deadline "
+            f"(attempt {_CTX.attempt})")
+    raise CorruptedOutputError(
+        f"injected output corruption at {site}:{key} "
+        f"(attempt {_CTX.attempt})")
+
+
+def poll(site: str, key: str, phase: str = "all") -> None:
+    """Fault/deadline checkpoint for an instrumented site.
+
+    ``phase="pre"`` enacts exception/timeout/slow rules (before the work),
+    ``phase="post"`` enacts corrupt rules (the work ran, its output is
+    declared bad), ``phase="all"`` enacts every matching rule.  Checks
+    the cooperative deadline in every phase.  Near-zero cost when no
+    plan is installed and no deadline is active.
+    """
+    plan = _CTX.plan if _CTX.plan is not None else _ACTIVE_PLAN
+    if plan is None and _CTX.deadline is None:
+        return
+    _check_deadline(site, key)
+    if plan is None:
+        return
+    for rule in plan.decide(site, key, _CTX.attempt):
+        if phase == "pre" and rule.kind == "corrupt":
+            continue
+        if phase == "post" and rule.kind != "corrupt":
+            continue
+        _enact(rule, site, key)
+
+
+def cache_read_corrupted(key: str) -> bool:
+    """Did the plan corrupt this cache read?  (Consulted by
+    :meth:`FigureCache.get`; a corrupted read degrades into a miss.)"""
+    plan = _CTX.plan if _CTX.plan is not None else _ACTIVE_PLAN
+    if plan is None:
+        return False
+    fired = [r for r in plan.decide("cache", key, _CTX.attempt)
+             if r.kind == "corrupt"]
+    if not fired:
+        return False
+    _CTX.injected += len(fired)
+    _metrics.counter("resilience.cache_corruptions").inc()
+    return True

@@ -41,6 +41,7 @@ from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..common.errors import KernelLaunchError
+from ..resilience.faults import poll as _fault_poll
 from ..trace.metrics import registry as _metrics
 from ..trace.spans import current_tracer
 from .buffer import LocalAccessor
@@ -327,7 +328,12 @@ def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
     ``"group"`` or ``"item"``); otherwise the fastest available path is
     selected — the whole-range vector form unless ``force_item``, then
     the group-vectorized form, then the per-item form.
+
+    Each launch is a fault-injection / deadline checkpoint
+    (:func:`repro.resilience.faults.poll` at site ``launch``) — free
+    when no plan or deadline is active.
     """
+    _fault_poll("launch", kernel.name)
     validate_launch(kernel, nd_range, device_max_wg)
     stats = ExecutionStats()
     path = _select_path(kernel, force_item, mode)
@@ -416,6 +422,7 @@ def run_single_task(kernel: KernelSpec, args: tuple) -> ExecutionStats:
     scheduler in :mod:`repro.sycl.pipes`; calling them here runs them to
     completion and will raise if a pipe read ever blocks.
     """
+    _fault_poll("launch", kernel.name)
     stats = ExecutionStats()
     stats.path = "single_task"
     fn = kernel.vector_fn or kernel.item_fn

@@ -1,0 +1,97 @@
+"""Crash-recovery integration: a sweep killed mid-run by an injected
+fault resumes from its journal, re-executes only the unfinished cells,
+produces a byte-identical report, and its journaled output digests still
+match the golden end-to-end checksums."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import CellExecutionError
+from repro.harness.cli import main
+from repro.harness.reporting import render_suite_report
+from repro.harness.resultdb import SweepJournal
+from repro.harness.runner import (_DEFAULT_SCALES, run_suite_functional)
+from repro.trace.metrics import registry as metrics
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "size1_checksums.json"
+CONFIGS = list(_DEFAULT_SCALES)
+CRASH_AT = "LavaMD"  # config index 5: five cells complete before the crash
+
+
+@pytest.fixture
+def crashed_journal(tmp_path):
+    """A journal left behind by a sweep that died at LavaMD."""
+    journal = tmp_path / "sweep.journal"
+    from repro.resilience import FaultPlan
+    plan = FaultPlan.parse(f"cell:exception:1.0:persist=99:match={CRASH_AT}")
+    with pytest.raises(CellExecutionError) as excinfo:
+        run_suite_functional(journal=journal, fault_plan=plan)
+    assert excinfo.value.key == CRASH_AT
+    return journal
+
+
+def test_crash_journals_only_completed_cells(crashed_journal):
+    records = SweepJournal(crashed_journal).load()
+    done = [r["config"] for r in records]
+    assert done == CONFIGS[:CONFIGS.index(CRASH_AT)]  # fail-fast at cell 5
+    assert all(r["status"] == "done" and r["verified"] for r in records)
+
+
+def test_resume_reexecutes_only_unfinished_cells(crashed_journal):
+    n_done = len(SweepJournal(crashed_journal).load())
+    metrics.reset()
+    results = run_suite_functional(journal=crashed_journal, resume=True)
+    snap = metrics.snapshot()
+    assert snap["resilience.cells_resumed"]["value"] == n_done
+    assert snap["harness.runs"]["value"] == len(CONFIGS) - n_done
+    assert [r.config for r in results] == CONFIGS
+    assert all(r.verified for r in results)
+    # resumed rows come from the journal: no workload/outputs attached
+    assert results[0].outputs is None and results[-1].outputs is not None
+
+
+def test_resumed_report_is_byte_identical(crashed_journal):
+    clean = render_suite_report(run_suite_functional())
+    resumed = render_suite_report(
+        run_suite_functional(journal=crashed_journal, resume=True))
+    assert resumed == clean
+
+
+def test_journaled_digests_match_golden_checksums(crashed_journal):
+    golden = json.loads(GOLDEN.read_text())
+    records = SweepJournal(crashed_journal).load()
+    assert records
+    for record in records:
+        expected = golden[record["config"]]
+        assert record["digests"] == {
+            name: digest["sha256"] for name, digest in expected.items()}
+
+
+def test_journal_tolerates_torn_tail_line(crashed_journal):
+    with open(crashed_journal, "a") as fh:
+        fh.write('{"status": "done", "config": "SR')  # torn mid-crash write
+    records = SweepJournal(crashed_journal).load()
+    assert [r["config"] for r in records] == CONFIGS[:CONFIGS.index(CRASH_AT)]
+    results = run_suite_functional(journal=crashed_journal, resume=True)
+    assert [r.config for r in results] == CONFIGS
+
+
+def test_cli_crash_resume_round_trip(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["suite"]) == 0
+    clean = capsys.readouterr().out
+
+    journal = str(tmp_path / "cli.journal")
+    status = main(["suite", "--journal", journal, "--inject-faults",
+                   f"cell:exception:1.0:persist=99:match={CRASH_AT}"])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "suite aborted" in out and "--resume" in out
+
+    assert main(["suite", "--journal", journal, "--resume"]) == 0
+    resumed = capsys.readouterr().out
+    assert resumed == clean

@@ -1,0 +1,354 @@
+"""The fault-tolerance layer: deterministic injection, retry/backoff,
+degraded capture, and the instrumented integrations (executor launches,
+figure-cache reads, the suite CLI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (CellExecutionError, CellTimeoutError,
+                                 CorruptedOutputError, InjectedFaultError,
+                                 InvalidParameterError, TransientFaultError)
+from repro.harness.cli import main
+from repro.harness.resultdb import FigureCache
+from repro.harness.runner import pool_map, run_functional
+from repro.resilience import (Deadline, FailedCell, FaultPlan, FaultRule,
+                              RetryPolicy, call_with_retry, cell_scope,
+                              current_cell, deterministic_uniform,
+                              fault_injection, poll)
+from repro.trace.metrics import registry as metrics
+from repro.trace.spans import tracing
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / FaultRule
+# ---------------------------------------------------------------------------
+
+def test_parse_single_rule():
+    plan = FaultPlan.parse("cell:exception:0.25", seed=3)
+    assert plan.seed == 3
+    assert plan.rules == (FaultRule("cell", "exception", 0.25),)
+
+
+def test_parse_full_options():
+    plan = FaultPlan.parse(
+        "launch:slow:0.1:delay=0.01:persist=2:match=KMeans,"
+        "cache:corrupt:1.0")
+    r0, r1 = plan.rules
+    assert (r0.site, r0.kind, r0.rate) == ("launch", "slow", 0.1)
+    assert (r0.delay_s, r0.persist, r0.match) == (0.01, 2, "KMeans")
+    assert (r1.site, r1.kind, r1.rate) == ("cache", "corrupt", 1.0)
+
+
+@pytest.mark.parametrize("spec", [
+    "", "cell:exception", "nosite:exception:1.0", "cell:nokind:1.0",
+    "cell:exception:1.5", "cell:exception:0.5:bogus=1",
+    "cell:exception:0.5:persist=0",
+])
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(InvalidParameterError):
+        FaultPlan.parse(spec)
+
+
+def test_decide_is_deterministic_and_keyed():
+    plan = FaultPlan.parse("cell:exception:0.5", seed=11)
+    fired = {key: bool(plan.decide("cell", key)) for key in map(str, range(40))}
+    again = {key: bool(plan.decide("cell", key)) for key in map(str, range(40))}
+    assert fired == again
+    assert any(fired.values()) and not all(fired.values())
+    # a different seed reshuffles the decisions
+    other = FaultPlan.parse("cell:exception:0.5", seed=12)
+    assert fired != {k: bool(other.decide("cell", k)) for k in fired}
+
+
+def test_decide_ignores_other_sites_and_respects_match():
+    plan = FaultPlan.parse("cell:exception:1.0:match=LavaMD")
+    assert plan.decide("cell", "LavaMD") != []
+    assert plan.decide("cell", "KMeans") == []
+    assert plan.decide("launch", "LavaMD") == []
+
+
+def test_persist_gates_on_attempt_not_redraw():
+    plan = FaultPlan.parse("cell:exception:1.0:persist=2")
+    assert plan.decide("cell", "NW", attempt=0)
+    assert plan.decide("cell", "NW", attempt=1)
+    assert plan.decide("cell", "NW", attempt=2) == []
+
+
+def test_deterministic_uniform_bounds():
+    draws = [deterministic_uniform(0, "cell", i) for i in range(200)]
+    assert all(0.0 < d <= 1.0 for d in draws)
+    assert len(set(draws)) > 150  # actually spread out
+
+
+# ---------------------------------------------------------------------------
+# Deadline + poll
+# ---------------------------------------------------------------------------
+
+def test_deadline_with_fake_clock():
+    t = [0.0]
+    deadline = Deadline(5.0, clock=lambda: t[0])
+    assert not deadline.expired() and deadline.remaining() == 5.0
+    t[0] = 5.5
+    assert deadline.expired() and deadline.elapsed() == 5.5
+
+
+def test_deadline_rejects_nonpositive():
+    with pytest.raises(InvalidParameterError):
+        Deadline(0.0)
+
+
+def test_poll_checks_deadline_inside_cell_scope():
+    t = [0.0]
+    with cell_scope(key="NW", deadline=Deadline(1.0, clock=lambda: t[0])):
+        poll("cell", "NW")  # fine
+        t[0] = 2.0
+        with pytest.raises(CellTimeoutError):
+            poll("cell", "NW")
+
+
+def test_poll_phases_split_corrupt_from_the_rest():
+    plan = FaultPlan.parse("cell:corrupt:1.0")
+    with fault_injection(plan):
+        poll("cell", "NW", phase="pre")  # corrupt only fires post-work
+        with pytest.raises(CorruptedOutputError):
+            poll("cell", "NW", phase="post")
+    plan = FaultPlan.parse("cell:exception:1.0")
+    with fault_injection(plan):
+        poll("cell", "NW", phase="post")  # exception is a pre-work fault
+        with pytest.raises(InjectedFaultError):
+            poll("cell", "NW", phase="pre")
+
+
+def test_poll_without_plan_is_a_noop():
+    poll("cell", "anything")
+    poll("launch", "anything")
+
+
+def test_slow_fault_sleeps_then_rechecks_deadline():
+    plan = FaultPlan.parse("cell:slow:1.0:delay=0.0")
+    with fault_injection(plan):
+        poll("cell", "NW")  # no deadline: slow is survivable
+    t = [0.0]
+    deadline = Deadline(0.5, clock=lambda: t[0])
+    with fault_injection(plan), cell_scope(key="NW", deadline=deadline):
+        t[0] = 1.0
+        with pytest.raises(CellTimeoutError):
+            poll("cell", "NW")
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+def test_retry_recovers_transient_fault():
+    plan = FaultPlan.parse("cell:exception:1.0")  # persist=1: transient
+    calls = []
+
+    def flaky():
+        calls.append(current_cell().attempt)
+        poll("cell", "NW", phase="pre")
+        return 42
+
+    value = call_with_retry(flaky, policy=RetryPolicy(max_attempts=2,
+                                                      base_s=0.0, jitter=0.0),
+                            key="NW", plan=plan, sleep=lambda s: None)
+    assert value == 42
+    assert calls == [0, 1]
+
+
+def test_retry_exhausts_on_persistent_fault():
+    plan = FaultPlan.parse("cell:exception:1.0:persist=99")
+    with pytest.raises(InjectedFaultError):
+        call_with_retry(lambda: poll("cell", "NW", phase="pre"),
+                        policy=RetryPolicy(max_attempts=3, base_s=0.0,
+                                           jitter=0.0),
+                        key="NW", plan=plan, sleep=lambda s: None)
+
+
+def test_retry_does_not_catch_nontransient_errors():
+    calls = []
+
+    def broken():
+        calls.append(1)
+        raise ValueError("real bug")
+
+    with pytest.raises(ValueError):
+        call_with_retry(broken, policy=RetryPolicy(max_attempts=5),
+                        sleep=lambda s: None)
+    assert calls == [1]  # no retry on a genuine failure
+
+
+def test_retry_sleeps_the_scheduled_backoff():
+    plan = FaultPlan.parse("cell:exception:1.0:persist=2")
+    policy = RetryPolicy(max_attempts=3, base_s=0.25, multiplier=2.0,
+                         jitter=0.0)
+    slept = []
+    call_with_retry(lambda: poll("cell", "NW", phase="pre"),
+                    policy=policy, key="NW", plan=plan, sleep=slept.append)
+    assert slept == policy.schedule("NW")[:2] == [0.25, 0.5]
+
+
+def test_retry_metrics_and_spans():
+    metrics.reset()
+    plan = FaultPlan.parse("cell:exception:1.0")
+    with tracing() as tracer:
+        call_with_retry(lambda: poll("cell", "NW", phase="pre"),
+                        policy=RetryPolicy(max_attempts=2, base_s=0.0,
+                                           jitter=0.0),
+                        key="NW", plan=plan, sleep=lambda s: None)
+        cats = [ev.cat for ev in tracer.events()]
+    snap = metrics.snapshot()
+    assert snap["resilience.retries"]["value"] == 1
+    assert snap["resilience.faults_injected"]["value"] == 1
+    assert snap["resilience.backoff_s"]["count"] == 1
+    assert cats.count("retry") == 2 and cats.count("backoff") == 1
+    assert cats.count("fault") == 1
+
+
+def test_policy_validation():
+    with pytest.raises(InvalidParameterError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(InvalidParameterError):
+        RetryPolicy(jitter=-0.1)
+    with pytest.raises(InvalidParameterError):
+        RetryPolicy(multiplier=0.0)
+
+
+# ---------------------------------------------------------------------------
+# pool_map resilience
+# ---------------------------------------------------------------------------
+
+def test_pool_map_raises_cell_execution_error_with_context():
+    plan = FaultPlan.parse("cell:exception:1.0:match=2")
+    with pytest.raises(CellExecutionError) as excinfo:
+        pool_map(lambda x: x, [1, 2, 3], fault_plan=plan)
+    err = excinfo.value
+    assert err.key == "2" and err.index == 1 and err.attempts == 1
+    assert "pool cell 1" in str(err) and "InjectedFaultError" in str(err)
+    assert isinstance(err.__cause__, InjectedFaultError)
+
+
+def test_pool_map_abort_fails_fast_serially():
+    plan = FaultPlan.parse("cell:exception:1.0:match=1")
+    seen = []
+
+    def record(x):
+        seen.append(x)
+        return x
+
+    with pytest.raises(CellExecutionError):
+        pool_map(record, [0, 1, 2, 3], fault_plan=plan)
+    assert seen == [0]  # cell 1 faulted pre-work; 2 and 3 never ran
+
+
+def test_pool_map_captures_failed_cells():
+    plan = FaultPlan.parse("cell:exception:1.0:match=1")
+    out = pool_map(lambda x: x * 10, [0, 1, 2], fault_plan=plan,
+                   capture_errors=True)
+    assert out[0] == 0 and out[2] == 20
+    failed = out[1]
+    assert isinstance(failed, FailedCell)
+    assert failed.key == "1" and failed.index == 1
+    assert failed.error_kind == "InjectedFaultError" and failed.transient
+
+
+def test_pool_map_retry_recovers_to_clean_values():
+    plan = FaultPlan.parse("cell:exception:0.5")
+    policy = RetryPolicy(max_attempts=3, base_s=0.0, jitter=0.0)
+    clean = pool_map(lambda x: x * x, list(range(20)))
+    for mode in ("thread", None):
+        recovered = pool_map(lambda x: x * x, list(range(20)),
+                             workers=4 if mode else None, mode=mode or "auto",
+                             retry=policy, fault_plan=plan)
+        assert recovered == clean
+
+
+def test_pool_map_cell_timeout_becomes_failed_cell():
+    plan = FaultPlan.parse("cell:slow:1.0:delay=0.05:match=1")
+    out = pool_map(lambda x: x, [0, 1], cell_timeout=0.01,
+                   fault_plan=plan, capture_errors=True)
+    assert out[0] == 0
+    assert isinstance(out[1], FailedCell) and out[1].timed_out
+
+
+def test_pool_map_accounts_metrics():
+    metrics.reset()
+    plan = FaultPlan.parse("cell:exception:1.0:match=1:persist=9")
+    pool_map(lambda x: x, [0, 1, 2],
+             retry=RetryPolicy(max_attempts=2, base_s=0.0, jitter=0.0),
+             fault_plan=plan, capture_errors=True)
+    snap = metrics.snapshot()
+    assert snap["resilience.cells"]["value"] == 3
+    assert snap["resilience.failed_cells"]["value"] == 1
+    assert snap["resilience.cell_retries"]["value"] == 1
+    assert snap["resilience.cell_faults"]["value"] == 2  # both attempts
+
+
+# ---------------------------------------------------------------------------
+# Instrumented integrations
+# ---------------------------------------------------------------------------
+
+def test_executor_launch_site_injects():
+    plan = FaultPlan.parse("launch:exception:1.0")
+    with fault_injection(plan):
+        with pytest.raises(InjectedFaultError):
+            run_functional("NW", seed=0)
+
+
+def test_executor_launch_fault_recovers_via_retry():
+    clean = run_functional("NW", seed=0)
+    plan = FaultPlan.parse("launch:exception:0.5")  # transient per launch
+    recovered = call_with_retry(
+        lambda: run_functional("NW", seed=0),
+        policy=RetryPolicy(max_attempts=3, base_s=0.0, jitter=0.0),
+        key="NW", plan=plan, sleep=lambda s: None)
+    assert recovered.verified
+    assert recovered.modeled_kernel_s == clean.modeled_kernel_s
+
+
+def test_figure_cache_corrupt_read_degrades_to_miss(tmp_path):
+    cache = FigureCache(root=tmp_path)
+    cache.put(17, cell="fig2", size=1)
+    assert cache.get(cell="fig2", size=1) == 17
+    plan = FaultPlan.parse("cache:corrupt:1.0")
+    metrics.reset()
+    with fault_injection(plan):
+        assert cache.get(cell="fig2", size=1) is None  # corrupted -> miss
+    assert metrics.snapshot()["resilience.cache_corruptions"]["value"] == 1
+    # the poisoned entry was dropped: still a miss after the plan is gone
+    assert cache.get(cell="fig2", size=1) is None
+    cache.put(17, cell="fig2", size=1)
+    assert cache.get(cell="fig2", size=1) == 17
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_suite_degrades_and_exits_zero(capsys):
+    status = main(["suite", "--inject-faults", "cell:exception:0.2",
+                   "--fault-seed", "3", "--on-error", "degrade"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "FAIL  InjectedFaultError" in out
+    assert "(degraded)" in out
+
+
+def test_cli_suite_retries_recover_byte_identical(capsys):
+    assert main(["suite"]) == 0
+    clean = capsys.readouterr().out
+    status = main(["suite", "--inject-faults", "cell:exception:0.2",
+                   "--fault-seed", "3", "--retries", "3"])
+    recovered = capsys.readouterr().out
+    assert status == 0
+    assert recovered == clean
+
+
+def test_cli_run_with_injection_and_retries(capsys):
+    status = main(["run", "NW", "--inject-faults", "cell:exception:1.0",
+                   "--retries", "1", "--quiet"])
+    assert status == 0
+    with pytest.raises(InjectedFaultError):
+        main(["run", "NW", "--inject-faults",
+              "cell:exception:1.0:persist=9", "--quiet"])
