@@ -262,6 +262,7 @@ def _cmd_figures(args) -> int:
 
 def _cmd_suite(args) -> int:
     from ..common.errors import CellExecutionError
+    from ..resilience import FailedCell
     from .reporting import render_suite_report
     from .runner import run_suite_functional
 
@@ -284,9 +285,15 @@ def _cmd_suite(args) -> int:
                   "re-run with --resume to continue")
         return 1
     print(render_suite_report(results))
+    # Degrade mode forgives FailedCell rows (that is its contract), but a
+    # cell that executed and failed golden verification is a correctness
+    # regression in any mode.
+    verified = all(getattr(r, "verified", False) for r in results
+                   if not isinstance(r, FailedCell))
     if degrade:
-        return 0
-    return 0 if all(getattr(r, "verified", False) for r in results) else 1
+        return 0 if verified else 1
+    return 0 if verified and not any(
+        isinstance(r, FailedCell) for r in results) else 1
 
 
 def _cmd_migrate(_args) -> int:

@@ -131,28 +131,37 @@ def render_suite_report(results: list) -> str:
 
     Successful cells print their modeled kernel/total times; failed
     cells (:class:`~repro.resilience.FailedCell`, degraded mode) print
-    the error class, attempt count, and message.  The rendering depends
+    the error class, attempt count, and message.  The summary line
+    counts degraded cells and verification failures separately — a cell
+    that executed but did not verify is not a degraded row.  The
+    rendering depends
     only on modeled quantities — never on wall-clock — so a resumed or
     retry-recovered sweep reproduces the uninterrupted report
     byte-for-byte.
     """
     lines = []
-    ok = 0
+    ok = degraded = unverified = 0
     for r in results:
         if isinstance(r, FailedCell):
+            degraded += 1
             name = r.config or r.key
             lines.append(f"{name:<14} FAIL  {r.error_kind} after "
                          f"{r.attempts} attempt(s): {r.message}")
             continue
-        status = "ok" if r.verified else "FAIL"
-        ok += 1 if r.verified else 0
+        if r.verified:
+            ok += 1
+            status = "ok"
+        else:
+            unverified += 1
+            status = "FAIL"
         lines.append(f"{r.config:<14} {status:<5} "
                      f"kernel={r.modeled_kernel_s:.3e}s "
                      f"total={r.modeled_total_s:.3e}s")
-    failed = len(results) - ok
     summary = f"suite: {ok}/{len(results)} ok"
-    if failed:
-        summary += f", {failed} failed (degraded)"
+    if degraded:
+        summary += f", {degraded} failed (degraded)"
+    if unverified:
+        summary += f", {unverified} verification failure(s)"
     lines.append(summary)
     return "\n".join(lines)
 

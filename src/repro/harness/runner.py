@@ -48,7 +48,7 @@ from ..resilience import (FailedCell, FaultPlan, RetryPolicy, call_with_retry,
 from ..sycl import Queue, device
 from ..trace.metrics import registry as _trace_metrics
 from ..trace.spans import Tracer, current_tracer, install_tracer
-from .resultdb import SweepJournal
+from .resultdb import SweepJournal, code_fingerprint
 
 __all__ = [
     "RunResult",
@@ -317,6 +317,8 @@ def pool_map(fn: Callable, items: Sequence | Iterable, *,
         futures = {pool.submit(mapped, (i, keys[i], item)): i
                    for i, item in enumerate(items)}
         for future in as_completed(futures):
+            if future.cancelled():
+                continue  # abort mode cancelled it below; result() would raise
             outcome = future.result()  # _pool_cell never raises
             slots[futures[future]] = outcome
             if on_result is not None:
@@ -477,23 +479,32 @@ def run_functional(config: str, device_key: str = "rtx2080",
 # Suite sweep with checkpoint-resume
 # ---------------------------------------------------------------------------
 
-def journal_record(result: RunResult, mode: str | None = None) -> dict:
+def journal_record(result: RunResult, mode: str | None = None,
+                   scale: float | None = None) -> dict:
     """Serialize one completed suite cell for the append-only journal.
 
     Modeled times round-trip exactly through JSON (``repr``-based float
     encoding), and the output arrays are captured as SHA-256 digests so
     a resumed sweep can still prove its cells match the golden fixtures.
+    Each record also carries the :func:`~repro.harness.resultdb.code_fingerprint`
+    of the source tree and the workload ``scale`` that produced it, so a
+    resume can reject records written by different code or a different
+    sweep geometry instead of trusting the journal verbatim.
     """
     digests = {}
     for name, arr in sorted((result.outputs or {}).items()):
         arr = np.ascontiguousarray(np.asarray(arr))
         digests[name] = hashlib.sha256(arr.tobytes()).hexdigest()
+    if scale is None:
+        scale = _DEFAULT_SCALES.get(result.config, 0.02)
     return {
         "status": "done",
+        "fingerprint": code_fingerprint(),
         "config": result.config,
         "device": result.device_key,
         "variant": result.variant.value,
         "mode": mode or "auto",
+        "scale": float(scale),
         "verified": bool(result.verified),
         "kernel_s": result.modeled_kernel_s,
         "total_s": result.modeled_total_s,
@@ -543,19 +554,26 @@ def run_suite_functional(device_key: str = "rtx2080",
       they finish; a resumed sweep re-executes only the cells the
       journal is missing (skips are counted on
       ``resilience.cells_resumed``) and merges journaled results back in
-      suite order, byte-identical to an uninterrupted run.
+      suite order, byte-identical to an uninterrupted run.  Records are
+      only trusted when their code fingerprint and workload scale match
+      the current sweep — stale or hand-edited journal entries are
+      re-executed, not merged.
     """
     configs = list(_DEFAULT_SCALES)
     if journal is not None and not isinstance(journal, SweepJournal):
         journal = SweepJournal(journal)
     done: dict[str, dict] = {}
     if journal is not None and resume:
+        fingerprint = code_fingerprint()
         for record in journal.load():
             if (record.get("status") == "done"
+                    and record.get("fingerprint") == fingerprint
                     and record.get("device") == device_key
                     and record.get("variant") == variant.value
                     and record.get("mode") == (mode or "auto")
-                    and record.get("config") in _DEFAULT_SCALES):
+                    and record.get("config") in _DEFAULT_SCALES
+                    and record.get("scale")
+                    == _DEFAULT_SCALES[record["config"]]):
                 done[record["config"]] = record
     if done:
         _trace_metrics.counter("resilience.cells_resumed").inc(len(done))

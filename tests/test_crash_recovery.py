@@ -71,6 +71,29 @@ def test_journaled_digests_match_golden_checksums(crashed_journal):
             name: digest["sha256"] for name, digest in expected.items()}
 
 
+def test_resume_rejects_tampered_journal_records(crashed_journal):
+    journal = SweepJournal(crashed_journal)
+    records = journal.load()
+    assert len(records) >= 2
+    # hand-edit the journal: one record from "different code" carrying a
+    # forged modeled time, one with a foreign workload scale
+    records[0]["fingerprint"] = "0" * 16
+    records[0]["kernel_s"] = 123.0
+    records[1]["scale"] = 99.0
+    journal.clear()
+    for record in records:
+        journal.append(record)
+    metrics.reset()
+    results = run_suite_functional(journal=journal, resume=True)
+    snap = metrics.snapshot()
+    # both tampered cells were re-executed, not merged from the journal
+    assert snap["resilience.cells_resumed"]["value"] == len(records) - 2
+    assert results[0].outputs is not None and results[1].outputs is not None
+    assert results[0].modeled_kernel_s != 123.0
+    assert [r.config for r in results] == CONFIGS
+    assert all(r.verified for r in results)
+
+
 def test_journal_tolerates_torn_tail_line(crashed_journal):
     with open(crashed_journal, "a") as fh:
         fh.write('{"status": "done", "config": "SR')  # torn mid-crash write

@@ -4,14 +4,18 @@ figure-cache reads, the suite CLI)."""
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.altis import Variant
 from repro.common.errors import (CellExecutionError, CellTimeoutError,
                                  CorruptedOutputError, InjectedFaultError,
                                  InvalidParameterError, TransientFaultError)
 from repro.harness.cli import main
+from repro.harness.reporting import render_suite_report
 from repro.harness.resultdb import FigureCache
-from repro.harness.runner import pool_map, run_functional
+from repro.harness.runner import RunResult, pool_map, run_functional
 from repro.resilience import (Deadline, FailedCell, FaultPlan, FaultRule,
                               RetryPolicy, call_with_retry, cell_scope,
                               current_cell, deterministic_uniform,
@@ -242,6 +246,23 @@ def test_pool_map_abort_fails_fast_serially():
     assert seen == [0]  # cell 1 faulted pre-work; 2 and 3 never ran
 
 
+def test_pool_map_parallel_abort_raises_cell_execution_error():
+    # Regression: after the first failed cell, abort mode cancels the
+    # pending futures but keeps draining as_completed — calling
+    # .result() on a cancelled future raised CancelledError out of
+    # pool_map instead of the documented CellExecutionError.
+    plan = FaultPlan.parse("cell:exception:1.0:match=3")
+
+    def slow(x):
+        time.sleep(0.01)
+        return x
+
+    with pytest.raises(CellExecutionError) as excinfo:
+        pool_map(slow, list(range(8)), workers=2, mode="thread",
+                 fault_plan=plan)
+    assert excinfo.value.key == "3"
+
+
 def test_pool_map_captures_failed_cells():
     plan = FaultPlan.parse("cell:exception:1.0:match=1")
     out = pool_map(lambda x: x * 10, [0, 1, 2], fault_plan=plan,
@@ -325,6 +346,37 @@ def test_figure_cache_corrupt_read_degrades_to_miss(tmp_path):
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
+
+def _run_result(config, verified):
+    return RunResult(config=config, device_key="rtx2080",
+                     variant=Variant.SYCL_OPT, verified=verified,
+                     modeled_kernel_s=1.0, modeled_total_s=2.0)
+
+
+def test_suite_report_counts_verification_failures_separately():
+    results = [
+        _run_result("NW", True),
+        _run_result("GEMM", False),
+        FailedCell(key="KMeans", index=2, error_kind="InjectedFaultError",
+                   message="boom", config="KMeans"),
+    ]
+    report = render_suite_report(results)
+    assert ("suite: 1/3 ok, 1 failed (degraded), 1 verification failure(s)"
+            in report)
+
+
+def test_cli_suite_degrade_fails_on_verification_failure(capsys, monkeypatch):
+    # degrade forgives FailedCell rows, never a cell that executed but
+    # failed golden verification — CI must not mask regressions
+    import repro.harness.runner as runner_mod
+    monkeypatch.setattr(
+        runner_mod, "run_suite_functional",
+        lambda *a, **k: [_run_result("NW", True), _run_result("GEMM", False)])
+    status = main(["suite", "--on-error", "degrade"])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "1 verification failure(s)" in out
+
 
 def test_cli_suite_degrades_and_exits_zero(capsys):
     status = main(["suite", "--inject-faults", "cell:exception:0.2",
