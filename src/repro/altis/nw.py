@@ -84,9 +84,10 @@ def _block_item(item, score, sim, penalty, diag_idx, nb, n, block):
     bj = diag_idx - bi
     base_i = bi * block
     base_j = bj * block
-    tile = item.group._local_mem.setdefault(
-        "tile", np.zeros((block + 1, block + 1), dtype=np.int32)
-    )
+    tile = item.group._local_mem.get("tile")
+    if tile is None:
+        tile = item.group._local_mem["tile"] = np.zeros(
+            (block + 1, block + 1), dtype=np.int32)
     # stage halo + interior column-wise by this thread
     tile[0, tx + 1] = score[base_i, base_j + tx + 1]
     tile[tx + 1, 0] = score[base_i + tx + 1, base_j]
@@ -127,10 +128,10 @@ def _block_group(group, score, sim, penalty, diag_idx, nb, n, block):
     bj = diag_idx - bi
     i0 = bi * block
     j0 = bj * block
-    tile = group._local_mem.setdefault(
-        "tile",
-        [[0] * (block + 1) for _ in range(block + 1)],
-    )
+    tile = group._local_mem.get("tile")
+    if tile is None:
+        tile = group._local_mem["tile"] = [
+            [0] * (block + 1) for _ in range(block + 1)]
     # stage halo row + column (incl. the corner), all work-items at once
     tile[0] = score[i0, j0:j0 + block + 1].tolist()
     col = score[i0:i0 + block + 1, j0].tolist()
@@ -228,6 +229,10 @@ class NW(AltisApp):
             ),
             features={
                 "body_fmas": 0, "body_ops": 10, "global_access_sites": 4,
+                # every tile cell (halo + interior) is written before it
+                # is read within one launch, so pooled work-groups may
+                # retain the staged tile across wavefront launches
+                "local_mem_reuse": True,
                 "local_memories": [
                     {"bytes": tile_bytes, "static": static, "ports": 4,
                      "bankable": False},  # §5.2 case 3

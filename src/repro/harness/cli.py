@@ -138,6 +138,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_args(suite)
     _add_resilience_args(suite)
 
+    bench = sub.add_parser("bench",
+                           help="steady-state launch benchmarks "
+                                "(plan-cache trajectory)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized run: fewer best-of repetitions and "
+                            "the smaller figure sweep")
+    bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                       help="measurement trials per benchmark "
+                            "(default: 3, or 2 with --quick)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="benchmark record file to append the "
+                            "trajectory record to "
+                            "(default: BENCH_executor.json)")
+
     sub.add_parser("migrate", help="print the §3.2 migration report")
 
     synth = sub.add_parser("synth", help="synthesize an FPGA design")
@@ -296,6 +310,21 @@ def _cmd_suite(args) -> int:
         isinstance(r, FailedCell) for r in results) else 1
 
 
+def _cmd_bench(args) -> int:
+    from ..common.errors import ReproError
+    from .bench import render_bench, run_bench
+
+    try:
+        record, path = run_bench(args.out, quick=args.quick,
+                                 repeats=args.repeats)
+    except ReproError as exc:
+        print(f"bench failed verification: {exc}")
+        return 1
+    print(render_bench(record))
+    print(f"trajectory record appended to {path}")
+    return 0
+
+
 def _cmd_migrate(_args) -> int:
     from .experiments import migration_report
 
@@ -330,6 +359,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "figures": _cmd_figures,
     "suite": _cmd_suite,
+    "bench": _cmd_bench,
     "migrate": _cmd_migrate,
     "synth": _cmd_synth,
 }

@@ -33,6 +33,15 @@ from .executor import (
 from .kernel import KernelAttributes, KernelKind, KernelSpec, LoopSpec
 from .local_memory import group_local_memory_for_overwrite
 from .ndrange import BarrierToken, FenceSpace, Group, Id, NdItem, NdRange, Range
+from .plan import (
+    LaunchPlan,
+    clear_plan_caches,
+    compile_plan,
+    get_plan,
+    plan_cache_info,
+    plans_disabled,
+    set_plan_cache_limit,
+)
 from .pipes import DataflowGraph, Pipe, PipeBlocked
 from .queue import Handler, LaunchCounters, Queue, SpecTiming, TimelineEntry
 from .streams import OutOfOrderQueue, hyperq_speedup
@@ -77,6 +86,14 @@ __all__ = [
     "validate_launch",
     "execution_cache_info",
     "clear_execution_caches",
+    # launch plans
+    "LaunchPlan",
+    "get_plan",
+    "compile_plan",
+    "plan_cache_info",
+    "clear_plan_caches",
+    "set_plan_cache_limit",
+    "plans_disabled",
     # kernels
     "KernelSpec",
     "KernelKind",

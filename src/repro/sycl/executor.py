@@ -26,6 +26,13 @@ Two performance layers keep the decomposed paths cheap:
 * all barrier-phase scheduling — work-group and grid scope — runs
   through one deque-based phase engine that never rebuilds a live list.
 
+A third layer, :mod:`repro.sycl.plan`, compiles everything
+launch-invariant (validation, path selection, generator inspection,
+lattice references) into a cached :class:`~repro.sycl.plan.LaunchPlan`
+on first launch of a shape; repeated launches — the steady state Altis
+measures — re-inspect nothing.  ``use_plan=False`` pins the legacy
+per-launch derivation.
+
 The executor validates work-group limits against kernel attributes,
 reproducing the runtime errors the paper hit when Altis' default
 work-group sizes exceeded the FPGA compiler's preconfigured maxima (§4).
@@ -237,6 +244,21 @@ def _advance_barrier_phases(kernel: KernelSpec, gens: Iterable,
 
 _MODES = ("vector", "group", "item")
 
+# populated on the first planned launch (the plan module imports this
+# one, so the executor reaches back lazily)
+_get_plan = None
+
+
+def _lookup_plan(kernel, nd_range, force_item, device_max_wg, mode,
+                 grid=False):
+    global _get_plan
+    if _get_plan is None:
+        from .plan import get_plan
+
+        _get_plan = get_plan
+    return _get_plan(kernel, nd_range, force_item=force_item,
+                     device_max_wg=device_max_wg, mode=mode, grid=grid)
+
 
 def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None) -> str:
     if mode is not None and mode != "auto":
@@ -262,7 +284,8 @@ def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None) -> str:
 
 
 def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
-                          args: tuple) -> ExecutionStats:
+                          args: tuple, *,
+                          use_plan: bool = True) -> ExecutionStats:
     """Execute an ND-range kernel with **grid-level synchronization**.
 
     Altis exercises CUDA cooperative groups' grid sync (paper §2.2);
@@ -273,7 +296,15 @@ def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
     before any proceeds.  A generator ``group_fn`` is preferred when
     present and synchronizes at group granularity (all groups reach
     barrier k before any continues).
+
+    Grid barriers interlock every generator, so each launch runs the
+    strict phase engine; the cached grid plan (``use_plan``) amortizes
+    path selection, generator inspection, and group construction only.
     """
+    if use_plan:
+        plan = _lookup_plan(kernel, nd_range, False, None, None, grid=True)
+        if plan is not None:
+            return plan.execute(args)
     use_group = (kernel.group_fn is not None
                  and inspect.isgeneratorfunction(kernel.group_fn))
     if not use_group:
@@ -321,7 +352,8 @@ def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
 def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
                  *, force_item: bool = False,
                  device_max_wg: int | None = None,
-                 mode: str | None = None) -> ExecutionStats:
+                 mode: str | None = None,
+                 use_plan: bool = True) -> ExecutionStats:
     """Execute an ND-range kernel functionally.
 
     ``mode`` pins an execution path explicitly (``"vector"``,
@@ -329,11 +361,22 @@ def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
     selected — the whole-range vector form unless ``force_item``, then
     the group-vectorized form, then the per-item form.
 
+    By default the launch goes through the plan cache
+    (:mod:`repro.sycl.plan`): the first launch of a shape compiles a
+    :class:`~repro.sycl.plan.LaunchPlan`, repeated launches execute
+    warm with zero re-inspection.  ``use_plan=False`` forces the legacy
+    per-launch derivation below.
+
     Each launch is a fault-injection / deadline checkpoint
-    (:func:`repro.resilience.faults.poll` at site ``launch``) — free
-    when no plan or deadline is active.
+    (:func:`repro.resilience.faults.poll` at site ``launch``) — polled
+    *before* the plan lookup, so faults and retries stay per-launch
+    even on a warm cache; free when no plan or deadline is active.
     """
     _fault_poll("launch", kernel.name)
+    if use_plan:
+        plan = _lookup_plan(kernel, nd_range, force_item, device_max_wg, mode)
+        if plan is not None:
+            return plan.execute(args)
     validate_launch(kernel, nd_range, device_max_wg)
     stats = ExecutionStats()
     path = _select_path(kernel, force_item, mode)

@@ -56,8 +56,16 @@ class Range:
     __slots__ = ("dims",)
 
     def __init__(self, *dims):
-        if len(dims) == 1 and not isinstance(dims[0], int):
-            self.dims = _as_dims(dims[0])
+        if len(dims) == 1:
+            d = dims[0]
+            if type(d) is int:
+                # fast path for the dominant 1-D launch shape (hot in
+                # steady-state wavefronts: one Range pair per launch)
+                if d < 0:
+                    raise InvalidParameterError(f"negative extent in ({d},)")
+                self.dims = (d,)
+                return
+            self.dims = _as_dims(d)
         else:
             self.dims = _as_dims(dims)
         if any(d < 0 for d in self.dims):

@@ -1,0 +1,570 @@
+"""Launch-plan compilation and the warm-plan cache.
+
+The paper attributes most of the optimized-SYCL win to restructuring
+*launch* work, not arithmetic (§4, Fig. 1's non-kernel time), and Altis
+deliberately measures the repeated-launch steady state.  The executor
+used to re-derive the same launch-invariant facts on every
+:func:`~repro.sycl.executor.run_nd_range` call: attribute validation,
+path selection, ``inspect`` generator probing, lattice lookups, and
+fresh :class:`~repro.sycl.ndrange.Group` construction.
+
+This module compiles all of that **once per launch shape**.  The first
+launch of a ``(kernel, nd_range, path-pins, device limit)`` tuple builds
+an immutable :class:`LaunchPlan`:
+
+* the selected execution path and the validated work-group limits;
+* references to the memoized point grid / group lattice of the range;
+* ``inspect``-derived facts — whether the chosen form is a generator,
+  and its argument arity (the binding order of ``(index, *args)``);
+* a barrier-phase schedule, recorded by the plan's first strict
+  execution and reused for introspection and stats accounting.
+
+Subsequent launches of the same tuple execute through the plan with
+zero re-inspection; plans also keep a **thread-local pool** of ``Group``
+objects, so the per-group index state (and, for kernels that declare
+the ``local_mem_reuse`` feature, their staged local tiles) is not
+rebuilt on every launch of a steady-state wavefront.
+
+Plans live in a process-wide LRU cache mirroring the executor's lattice
+caches — :func:`plan_cache_info` / :func:`clear_plan_caches` — and are
+shared by every ``Queue`` and every harness ``pool_map`` worker thread.
+With a tracer installed, compilation emits a ``plan.compile`` span,
+warm launches emit ``plan.hit`` spans, and the ``plan.*`` metrics show
+the amortization (see ``docs/performance.md``).
+
+Plan reuse is observable through the cache counters:
+
+>>> import numpy as np
+>>> from repro.sycl import KernelSpec, NdRange, Range
+>>> from repro.sycl.executor import run_nd_range
+>>> from repro.sycl.plan import clear_plan_caches, plan_cache_info
+>>> doubler = KernelSpec(name="doubler",
+...                      vector_fn=lambda nd, a: np.multiply(a, 2, out=a))
+>>> clear_plan_caches()
+>>> a = np.ones(16)
+>>> for _ in range(4):
+...     stats = run_nd_range(doubler, NdRange(Range(16), Range(8)), (a,))
+>>> stats.path
+'vector'
+>>> info = plan_cache_info()
+>>> (info["compiles"], info["hits"], info["size"])
+(1, 3, 1)
+>>> float(a[0])
+16.0
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+
+from ..common.errors import KernelLaunchError
+from ..trace.metrics import registry as _metrics
+from ..trace.spans import current_tracer
+from .buffer import LocalAccessor
+from .executor import (
+    ExecutionStats,
+    _advance_barrier_phases,
+    _nd_lattice,
+    _note_execution_metrics,
+    _point_grid,
+    _run_path,
+    _select_path,
+    validate_launch,
+)
+from .kernel import KernelSpec
+from .ndrange import Group, NdItem, NdRange
+
+__all__ = [
+    "LaunchPlan",
+    "get_plan",
+    "compile_plan",
+    "plan_cache_info",
+    "clear_plan_caches",
+    "set_plan_cache_limit",
+    "plans_disabled",
+    "plans_enabled",
+]
+
+
+# ---------------------------------------------------------------------------
+# The process-wide plan cache
+# ---------------------------------------------------------------------------
+
+_CACHE: "OrderedDict[tuple, LaunchPlan]" = OrderedDict()
+_LOCK = threading.Lock()
+_MAXSIZE = 256
+_ENABLED = True
+_HITS = 0
+_MISSES = 0
+_COMPILES = 0
+_EVICTIONS = 0
+
+
+def plans_enabled() -> bool:
+    """Whether launches route through the plan cache (see
+    :func:`plans_disabled`)."""
+    return _ENABLED
+
+
+@contextmanager
+def plans_disabled():
+    """Execute a block through the un-planned legacy launch path.
+
+    Process-wide switch, meant for benchmarks and differential tests
+    that compare planned against un-planned execution.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def plan_cache_info() -> dict:
+    """Counters of the process-wide plan cache (mirrors
+    :func:`~repro.sycl.executor.execution_cache_info`)."""
+    with _LOCK:
+        return {
+            "hits": _HITS,
+            "misses": _MISSES,
+            "compiles": _COMPILES,
+            "evictions": _EVICTIONS,
+            "size": len(_CACHE),
+            "maxsize": _MAXSIZE,
+        }
+
+
+def clear_plan_caches() -> None:
+    """Drop every compiled plan and zero the cache counters."""
+    global _HITS, _MISSES, _COMPILES, _EVICTIONS
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = _MISSES = _COMPILES = _EVICTIONS = 0
+
+
+def set_plan_cache_limit(maxsize: int) -> int:
+    """Bound the LRU cache at ``maxsize`` plans; returns the old bound."""
+    global _MAXSIZE
+    with _LOCK:
+        previous = _MAXSIZE
+        _MAXSIZE = max(1, int(maxsize))
+        while len(_CACHE) > _MAXSIZE:
+            _evict_oldest_locked()
+    return previous
+
+
+def _evict_oldest_locked() -> None:
+    global _EVICTIONS
+    _CACHE.popitem(last=False)
+    _EVICTIONS += 1
+
+
+def _normalize_mode(mode: str | None) -> str | None:
+    return None if mode in (None, "auto", "") else mode
+
+
+def _plan_key(kernel: KernelSpec, nd_range: NdRange, force_item: bool,
+              device_max_wg: int | None, mode: str | None,
+              grid: bool) -> tuple:
+    # Content-based, not id(kernel)-based: apps may rebuild equal
+    # KernelSpec copies per launch (``with_attributes``); two specs with
+    # the same implementation functions and attributes launch the same.
+    return (
+        kernel.item_fn, kernel.group_fn, kernel.vector_fn, kernel.name,
+        kernel.attributes,
+        nd_range.global_range.dims, nd_range.local_range.dims,
+        force_item, mode, device_max_wg, grid,
+    )
+
+
+def get_plan(kernel: KernelSpec, nd_range: NdRange, *,
+             force_item: bool = False, device_max_wg: int | None = None,
+             mode: str | None = None, grid: bool = False
+             ) -> "LaunchPlan | None":
+    """The cached plan for one launch shape, compiling it on first use.
+
+    Returns ``None`` inside a :func:`plans_disabled` block.  Invalid
+    launch configurations raise the same
+    :class:`~repro.common.errors.KernelLaunchError` the legacy path
+    raises — and are never cached, so every launch of a bad shape keeps
+    failing loudly.
+    """
+    global _HITS, _MISSES
+    if not _ENABLED:
+        return None
+    mode = _normalize_mode(mode)
+    key = _plan_key(kernel, nd_range, force_item, device_max_wg, mode, grid)
+    with _LOCK:
+        plan = _CACHE.get(key)
+        if plan is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+        else:
+            _MISSES += 1
+    if plan is not None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.complete("plan.hit", "plan", tracer.now_us(), 0.0,
+                            kernel=kernel.name, path=plan.path)
+            _metrics.counter("plan.hits").inc()
+        return plan
+    return _compile_and_insert(kernel, nd_range, key, force_item,
+                               device_max_wg, mode, grid)
+
+
+def compile_plan(kernel: KernelSpec, nd_range: NdRange, *,
+                 force_item: bool = False, device_max_wg: int | None = None,
+                 mode: str | None = None, grid: bool = False) -> "LaunchPlan":
+    """Compile a plan without touching the cache (introspection aid)."""
+    return LaunchPlan(kernel, nd_range, _normalize_mode(mode),
+                      force_item=force_item, device_max_wg=device_max_wg,
+                      grid=grid)
+
+
+def _compile_and_insert(kernel, nd_range, key, force_item, device_max_wg,
+                        mode, grid) -> "LaunchPlan":
+    global _COMPILES
+    tracer = current_tracer()
+    if tracer is None:
+        plan = compile_plan(kernel, nd_range, force_item=force_item,
+                            device_max_wg=device_max_wg, mode=mode, grid=grid)
+    else:
+        with tracer.span("plan.compile", "plan", kernel=kernel.name,
+                         grid=grid):
+            plan = compile_plan(kernel, nd_range, force_item=force_item,
+                                device_max_wg=device_max_wg, mode=mode,
+                                grid=grid)
+        _metrics.counter("plan.compiles").inc()
+    with _LOCK:
+        winner = _CACHE.setdefault(key, plan)
+        if winner is plan:
+            _COMPILES += 1
+            while len(_CACHE) > _MAXSIZE:
+                _evict_oldest_locked()
+        if tracer is not None:
+            _metrics.gauge("plan.cache_size").set(len(_CACHE))
+    return winner
+
+
+# ---------------------------------------------------------------------------
+# The compiled plan
+# ---------------------------------------------------------------------------
+
+class LaunchPlan:
+    """Everything launch-invariant about one ``(kernel, nd_range)`` shape.
+
+    Compilation validates the launch (work-group attributes and device
+    limit), selects the execution path, resolves the memoized index
+    lattices, and probes the chosen kernel form with :mod:`inspect` —
+    exactly the work the legacy path repeats per launch.  The compiled
+    facts are immutable; the only write-once field is the barrier-phase
+    schedule, recorded by the plan's first strict execution.
+
+    ``execute`` runs one launch through the plan.  Traced launches
+    delegate to the executor's shared path runner so the span tree
+    (``launch`` → kernel-form → ``barrier-phase``) is byte-identical to
+    un-planned execution; untraced warm launches take the specialized
+    fast paths, reusing the plan's thread-local ``Group`` pool.
+    """
+
+    __slots__ = (
+        "kernel", "nd_range", "path", "grid", "is_generator", "arity",
+        "run_fn", "group_ids", "lattice", "group_size", "num_groups",
+        "total_items", "local_mem_reuse", "barrier_schedule", "_tls",
+    )
+
+    def __init__(self, kernel: KernelSpec, nd_range: NdRange,
+                 mode: str | None, *, force_item: bool = False,
+                 device_max_wg: int | None = None, grid: bool = False):
+        validate_launch(kernel, nd_range, device_max_wg)
+        self.kernel = kernel
+        self.nd_range = nd_range
+        self.grid = grid
+        if grid:
+            self.path = _select_grid_path(kernel)
+        else:
+            self.path = _select_path(kernel, force_item, mode)
+        self.run_fn = getattr(kernel, f"{self.path}_fn")
+        self.is_generator = inspect.isgeneratorfunction(self.run_fn)
+        code = getattr(self.run_fn, "__code__", None)
+        #: positional binding order of the kernel call: the index object
+        #: (nd_range / group / nd_item) plus this many launch arguments
+        self.arity = (code.co_argcount - 1) if code is not None else None
+        self.group_size = nd_range.group_size()
+        self.num_groups = nd_range.num_groups()
+        self.total_items = nd_range.total_items()
+        # resolved references into the executor's memoized lattices
+        self.group_ids = _point_grid(nd_range.group_range().dims)
+        self.lattice = (_nd_lattice(nd_range.global_range.dims,
+                                    nd_range.local_range.dims)
+                        if self.path == "item" else None)
+        self.local_mem_reuse = bool(kernel.feature("local_mem_reuse"))
+        #: per-group barrier-phase counts, recorded once by the first
+        #: strict execution (``None`` until then; ``()`` for paths that
+        #: never synchronize)
+        self.barrier_schedule: tuple | None = (
+            None if self.is_generator else ())
+        self._tls = threading.local()
+
+    def __repr__(self) -> str:
+        return (f"LaunchPlan({self.kernel.name!r}, path={self.path!r}, "
+                f"groups={self.num_groups}, items={self.total_items}, "
+                f"grid={self.grid})")
+
+    def describe(self) -> dict:
+        """The compiled launch-invariant facts, as plain data."""
+        return {
+            "kernel": self.kernel.name,
+            "path": self.path,
+            "grid": self.grid,
+            "is_generator": self.is_generator,
+            "arity": self.arity,
+            "global_range": self.nd_range.global_range.dims,
+            "local_range": self.nd_range.local_range.dims,
+            "groups": self.num_groups,
+            "group_size": self.group_size,
+            "items": self.total_items,
+            "local_mem_reuse": self.local_mem_reuse,
+            "barrier_schedule": self.barrier_schedule,
+        }
+
+    # -- group pooling -----------------------------------------------------
+
+    def _groups(self) -> tuple:
+        """This thread's pooled ``Group`` objects for the plan's range.
+
+        Pools are thread-local, so concurrent ``pool_map`` workers
+        reusing one plan never share mutable group state.  Unless the
+        kernel declares the ``local_mem_reuse`` feature (a promise that
+        every local-memory cell is written before it is read, as NW's
+        tile wavefront does), each launch sees freshly cleared local
+        memory — indistinguishable from a brand-new ``Group``.
+        """
+        groups = getattr(self._tls, "groups", None)
+        if groups is None:
+            groups = tuple(Group(gid, self.nd_range)
+                           for gid in self.group_ids)
+            self._tls.groups = groups
+        elif not self.local_mem_reuse:
+            for group in groups:
+                if group._local_mem:
+                    group._local_mem.clear()
+        return groups
+
+    def _items(self) -> tuple:
+        """Pooled ``(group, nd_items)`` pairs for the per-item path."""
+        pairs = getattr(self._tls, "items", None)
+        if pairs is None:
+            groups = self._groups()
+            pairs = tuple(
+                (group, tuple(NdItem(glob, lid, group)
+                              for glob, lid in coords))
+                for group, (_, coords) in zip(groups, self.lattice))
+            self._tls.items = pairs
+        elif not self.local_mem_reuse:
+            for group, _ in pairs:
+                if group._local_mem:
+                    group._local_mem.clear()
+        return pairs
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, args: tuple) -> ExecutionStats:
+        """Run one launch through the plan.
+
+        The caller remains responsible for the per-launch duties that
+        must *not* amortize — the executor polls the fault-injection /
+        deadline hook before looking the plan up, so faults and retries
+        stay per-launch even on a fully warm cache.
+        """
+        stats = ExecutionStats()
+        stats.path = self.path
+        tracer = current_tracer()
+        if tracer is not None:
+            # Traced launches keep the exact legacy span structure by
+            # delegating to the shared path runner (fresh groups, the
+            # strict phase engine, per-phase spans).
+            with tracer.span(f"{self.kernel.name}:{self.path}",
+                             "kernel-form", kernel=self.kernel.name,
+                             path=self.path, **({"grid": True} if self.grid
+                                                else {})):
+                if self.grid:
+                    self._run_grid(args, stats, tracer)
+                else:
+                    _run_path(self.kernel, self.nd_range, args, self.path,
+                              stats, tracer)
+            _note_execution_metrics(stats)
+            return stats
+        if self.grid:
+            self._run_grid(args, stats, None)
+        elif self.path == "vector":
+            self.run_fn(self.nd_range, *args)
+            stats.groups = self.num_groups
+            stats.items = self.total_items
+        elif self.path == "group":
+            self._run_group(args, stats)
+        else:
+            self._run_item(args, stats)
+        return stats
+
+    def _run_group(self, args: tuple, stats: ExecutionStats) -> None:
+        locals_ = [a for a in args if isinstance(a, LocalAccessor)]
+        fn = self.run_fn
+        if not self.is_generator:
+            for group in self._groups():
+                for acc in locals_:
+                    acc._begin_group()
+                fn(group, *args)
+                for acc in locals_:
+                    acc._end_group()
+            stats.groups = self.num_groups
+            stats.items = self.total_items
+            return
+        if self.barrier_schedule is None:
+            self._first_strict_group(args, stats, locals_)
+            return
+        # Warm path: the first strict execution validated the yielded
+        # tokens, so each group's independent generator is drained at
+        # full speed; counting the yields keeps the stats exact even
+        # for data-dependent phase structures.
+        phases = 0
+        advances = 0
+        for group in self._groups():
+            for acc in locals_:
+                acc._begin_group()
+            n = 0
+            for _ in fn(group, *args):
+                n += 1
+            phases += n
+            advances += n + 1
+            for acc in locals_:
+                acc._end_group()
+        stats.groups = self.num_groups
+        stats.items = self.total_items
+        stats.barrier_phases = phases
+        stats.gen_advances = advances
+
+    def _first_strict_group(self, args, stats, locals_) -> None:
+        """First execution: the strict phase engine per group (token and
+        divergence checks), recording the barrier-phase schedule."""
+        schedule = []
+        fn = self.run_fn
+        for group in self._groups():
+            for acc in locals_:
+                acc._begin_group()
+            before = stats.barrier_phases
+            _advance_barrier_phases(self.kernel, (fn(group, *args),), stats)
+            schedule.append(stats.barrier_phases - before)
+            for acc in locals_:
+                acc._end_group()
+        stats.groups = self.num_groups
+        stats.items = self.total_items
+        self.barrier_schedule = tuple(schedule)
+
+    def _run_item(self, args: tuple, stats: ExecutionStats) -> None:
+        locals_ = [a for a in args if isinstance(a, LocalAccessor)]
+        fn = self.run_fn
+        stats.groups = self.num_groups
+        stats.items = self.total_items
+        if not self.is_generator:
+            for group, items in self._items():
+                for acc in locals_:
+                    acc._begin_group()
+                for item in items:
+                    fn(item, *args)
+                for acc in locals_:
+                    acc._end_group()
+            return
+        if self.barrier_schedule is None:
+            self._first_strict_item(args, stats, locals_)
+            return
+        # Warm path: a list-based lockstep engine.  Token types were
+        # validated by the first strict execution; the all-or-none
+        # divergence contract is still enforced every launch.
+        name = self.kernel.name
+        phases = 0
+        advances = 0
+        for group, items in self._items():
+            for acc in locals_:
+                acc._begin_group()
+            live = [fn(item, *args) for item in items]
+            while live:
+                nxt = []
+                append = nxt.append
+                for gen in live:
+                    try:
+                        next(gen)
+                    except StopIteration:
+                        continue
+                    append(gen)
+                advances += len(live)
+                if nxt:
+                    if len(nxt) != len(live):
+                        raise KernelLaunchError(
+                            f"kernel {name!r}: divergent barrier - only "
+                            f"{len(nxt)} of {len(live)} work-items "
+                            "reached it")
+                    phases += 1
+                live = nxt
+            for acc in locals_:
+                acc._end_group()
+        stats.barrier_phases = phases
+        stats.gen_advances = advances
+
+    def _first_strict_item(self, args, stats, locals_) -> None:
+        schedule = []
+        fn = self.run_fn
+        for group, items in self._items():
+            for acc in locals_:
+                acc._begin_group()
+            before = stats.barrier_phases
+            _advance_barrier_phases(
+                self.kernel, [fn(item, *args) for item in items], stats)
+            schedule.append(stats.barrier_phases - before)
+            for acc in locals_:
+                acc._end_group()
+        self.barrier_schedule = tuple(schedule)
+
+    def _run_grid(self, args: tuple, stats: ExecutionStats, tracer) -> None:
+        """Grid-synchronized execution: barriers interlock across the
+        whole grid, so every launch runs the strict phase engine — the
+        plan amortizes selection, inspection, lattice lookups, and group
+        construction only."""
+        locals_ = [a for a in args if isinstance(a, LocalAccessor)]
+        for acc in locals_:
+            acc._begin_group()  # one grid-wide instance
+        fn = self.run_fn
+        stats.groups = self.num_groups
+        stats.items = self.total_items
+        if self.path == "group":
+            gens = [fn(group, *args) for group in self._groups()]
+        else:
+            gens = [fn(item, *args)
+                    for group, items in self._items()
+                    for item in items]
+        _advance_barrier_phases(self.kernel, gens, stats, grid=True,
+                                tracer=tracer)
+        if self.barrier_schedule is None:
+            self.barrier_schedule = (stats.barrier_phases,)
+        for acc in locals_:
+            acc._end_group()
+
+
+def _select_grid_path(kernel: KernelSpec) -> str:
+    """Path selection for grid-synchronized launches (mirrors the legacy
+    checks in :func:`~repro.sycl.executor.run_grid_synchronized`)."""
+    if (kernel.group_fn is not None
+            and inspect.isgeneratorfunction(kernel.group_fn)):
+        return "group"
+    if kernel.item_fn is None:
+        raise KernelLaunchError(
+            f"kernel {kernel.name!r} needs an item_fn for grid sync")
+    if not inspect.isgeneratorfunction(kernel.item_fn):
+        raise KernelLaunchError(
+            f"kernel {kernel.name!r} never synchronizes; use run_nd_range")
+    return "item"

@@ -251,7 +251,31 @@ class Queue:
 
     # -- submission API ----------------------------------------------------
     def submit(self, cgf: Callable[[Handler], None]) -> Event:
-        """``queue.submit([&](handler& h){...})``."""
+        """``queue.submit([&](handler& h){...})``.
+
+        Launches route through the plan cache (:mod:`repro.sycl.plan`):
+        the first submission of a launch shape compiles a
+        :class:`~repro.sycl.plan.LaunchPlan`, repeated submissions hit
+        it warm —
+
+        >>> import numpy as np
+        >>> from repro.sycl import (KernelSpec, NdRange, Queue, Range,
+        ...                         clear_plan_caches, plan_cache_info)
+        >>> halve = KernelSpec(name="halve",
+        ...                    vector_fn=lambda nd, a: np.divide(
+        ...                        a, 2, out=a))
+        >>> q = Queue("rtx2080")
+        >>> clear_plan_caches()
+        >>> a = np.full(8, 32.0)
+        >>> for _ in range(3):
+        ...     _ = q.submit(lambda h: h.parallel_for(
+        ...         NdRange(Range(8), Range(4)), halve, a))
+        >>> info = plan_cache_info()
+        >>> (info["compiles"], info["hits"])
+        (1, 2)
+        >>> float(a[0])
+        4.0
+        """
         h = Handler(self)
         cgf(h)
         if h._command is None:

@@ -39,8 +39,8 @@ def test_nav_lists_every_page(build_docs):
     assert set(pages) == on_disk
     for required in ("index.md", "quickstart.md", "cli.md",
                      "reproduction-map.md", "architecture.md",
-                     "calibration.md", "observability.md", "resilience.md",
-                     "api.md"):
+                     "calibration.md", "observability.md", "performance.md",
+                     "resilience.md", "api.md"):
         assert required in pages
 
 
@@ -50,26 +50,66 @@ def test_api_reference_is_fresh(build_docs):
 
 def test_api_reference_covers_public_surface(build_docs):
     api = (DOCS / "api.md").read_text()
-    for module in ("repro.sycl.queue", "repro.harness.runner",
+    for module in ("repro.sycl.queue", "repro.sycl.plan",
+                   "repro.harness.runner", "repro.harness.bench",
                    "repro.resilience", "repro.trace"):
         assert f"## `{module}`" in api
     for name in ("pool_map", "run_suite_functional", "FaultPlan",
                  "RetryPolicy", "call_with_retry", "FailedCell",
-                 "SweepJournal", "render_suite_report"):
+                 "SweepJournal", "render_suite_report",
+                 "LaunchPlan", "plan_cache_info", "clear_plan_caches",
+                 "run_bench", "append_trajectory"):
         assert name in api
+
+
+def test_unlisted_public_module_fails_strict_check(build_docs):
+    """A new module under a covered package must be classified — either
+    documented in api.md or explicitly folded into its package page —
+    or the strict check fails."""
+    assert build_docs.unclassified_modules() == []
+    # simulate forgetting to list repro.sycl.plan: the helper (and via
+    # it, check()) must flag exactly that module
+    pruned = [m for m in build_docs.API_MODULES if m != "repro.sycl.plan"]
+    assert build_docs.unclassified_modules(api_modules=pruned) == [
+        "repro.sycl.plan"]
+
+
+def _subcommands():
+    parser = build_parser()
+    subparsers = next(a for a in parser._actions
+                      if hasattr(a, "choices") and a.choices)
+    return subparsers.choices
 
 
 def test_every_cli_flag_is_documented():
     cli_md = (DOCS / "cli.md").read_text()
-    parser = build_parser()
-    subparsers = next(a for a in parser._actions
-                      if hasattr(a, "choices") and a.choices)
-    for name, sub in subparsers.choices.items():
+    for name, sub in _subcommands().items():
         assert f"## {name}" in cli_md
         for action in sub._actions:
             for opt in action.option_strings:
                 if opt.startswith("--") and opt != "--help":
                     assert opt in cli_md, f"{name} {opt} missing in cli.md"
+
+
+def test_every_subcommand_has_runnable_example():
+    """Every subcommand gets a copy-pasteable ``python -m repro <cmd>``
+    example in cli.md, and the documented entry point actually accepts
+    the subcommand (smoke-executed with ``--help``)."""
+    import os
+    import subprocess
+    import sys
+
+    cli_md = (DOCS / "cli.md").read_text()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    for name in _subcommands():
+        assert f"python -m repro {name}" in cli_md, (
+            f"cli.md has no copy-pasteable example for {name!r}")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", name, "--help"],
+            capture_output=True, text=True, env=env, cwd=ROOT)
+        assert proc.returncode == 0, proc.stderr
+        assert name in proc.stdout
 
 
 def test_reproduction_map_covers_paper_artifacts():

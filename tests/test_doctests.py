@@ -14,12 +14,16 @@ import pytest
 import repro.harness.runner
 import repro.resilience.faults
 import repro.resilience.retry
+import repro.sycl.plan
+import repro.sycl.queue
 
 
 @pytest.mark.parametrize("module", [
     repro.harness.runner,
     repro.resilience.faults,
     repro.resilience.retry,
+    repro.sycl.plan,
+    repro.sycl.queue,
 ], ids=lambda m: m.__name__)
 def test_module_doctests(module):
     failures, tested = doctest.testmod(module, verbose=False)

@@ -37,10 +37,12 @@ API_MODULES = [
     "repro",
     "repro.sycl.queue",
     "repro.sycl.executor",
+    "repro.sycl.plan",
     "repro.harness.runner",
     "repro.harness.resultdb",
     "repro.harness.reporting",
     "repro.harness.cli",
+    "repro.harness.bench",
     "repro.resilience",
     "repro.resilience.faults",
     "repro.resilience.retry",
@@ -49,6 +51,43 @@ API_MODULES = [
     "repro.trace.spans",
     "repro.trace.metrics",
 ]
+
+#: packages whose every submodule must be *classified* — either
+#: documented on its own api.md page (API_MODULES) or deliberately
+#: folded into its package's surface (API_FOLDED).  A new public module
+#: that is neither fails ``--check``, so the API reference cannot
+#: silently lose coverage of new code.
+API_PACKAGES = ["repro.sycl", "repro.harness", "repro.resilience",
+                "repro.trace"]
+
+#: submodules re-exported through their package ``__init__`` (and thus
+#: documented via the package page) rather than on a page of their own
+API_FOLDED = {
+    "repro.sycl.buffer", "repro.sycl.device", "repro.sycl.event",
+    "repro.sycl.kernel", "repro.sycl.local_memory", "repro.sycl.ndrange",
+    "repro.sycl.onedpl", "repro.sycl.pipes", "repro.sycl.streams",
+    "repro.sycl.usm",
+    "repro.harness.experiments",
+    "repro.trace.export",
+}
+
+
+def unclassified_modules(api_modules: list[str] | None = None,
+                         folded: set[str] | None = None) -> list[str]:
+    """Submodules of :data:`API_PACKAGES` that are neither documented
+    nor folded — each one is a strict-check error."""
+    api_modules = API_MODULES if api_modules is None else api_modules
+    folded = API_FOLDED if folded is None else folded
+    missing = []
+    for package in API_PACKAGES:
+        pkg_dir = ROOT / "src" / Path(*package.split("."))
+        for py in sorted(pkg_dir.glob("*.py")):
+            if py.stem.startswith("_"):
+                continue
+            modname = f"{package}.{py.stem}"
+            if modname not in api_modules and modname not in folded:
+                missing.append(modname)
+    return missing
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +255,12 @@ def check() -> list[str]:
             if frag and frag not in anchors[rel]:
                 errors.append(
                     f"docs/{page}: broken anchor {target!r}")
+
+    for modname in unclassified_modules():
+        errors.append(
+            f"public module {modname} is not covered by docs/api.md — "
+            "add it to API_MODULES (own page) or API_FOLDED "
+            "(documented via its package) in tools/build_docs.py")
 
     fresh = generate_api()
     current = (DOCS / "api.md").read_text() if (DOCS / "api.md").exists() else ""
