@@ -42,6 +42,9 @@ drift (the CI bench job diffs the schema against the previous record).
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -52,6 +55,7 @@ from ..common.errors import ReproError
 
 __all__ = [
     "BENCH_SCHEMA",
+    "bench_environment",
     "bench_nw_wavefront",
     "bench_srad_group",
     "bench_figure_sweep",
@@ -312,20 +316,41 @@ def append_trajectory(record: dict, path: Path) -> None:
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
+def bench_environment() -> dict:
+    """The machine identity stamped into every trajectory record.
+
+    ``repro perfdiff`` refuses to compare records whose environments
+    differ — wall-clock trajectories only mean something on one machine.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
 def run_bench(out: str | Path | None = None, *, quick: bool = False,
-              repeats: int | None = None) -> tuple[dict, Path]:
+              repeats: int | None = None,
+              timestamp: str | None = None) -> tuple[dict, Path]:
     """Run all steady-state benchmarks; append the trajectory record.
 
     Returns ``(record, path)``.  ``quick`` shrinks best-of counts and
     drops the slower figure from the sweep (the CI shape); ``repeats``
-    overrides the per-benchmark trial count.
+    overrides the per-benchmark trial count.  ``timestamp`` lets the
+    caller stamp the record (the CLI does); ``None`` reads the clock
+    here.
     """
     trials = repeats if repeats is not None else (2 if quick else 3)
     best_of = 3 if quick else 7
+    if timestamp is None:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     record = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": timestamp,
+        "environment": bench_environment(),
         "nw_wavefront": bench_nw_wavefront(trials=trials, best_of=best_of),
         "srad_group": bench_srad_group(best_of=max(3, best_of - 2)),
         "figure_sweep": bench_figure_sweep(quick=quick),

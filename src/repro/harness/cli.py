@@ -7,6 +7,8 @@ same surface::
     python -m repro run KMeans --size 1 --device rtx2080 --passes 3
     python -m repro list
     python -m repro figures fig2 fig4
+    python -m repro profile fdtd2d --device rtx2080
+    python -m repro perfdiff
     python -m repro migrate
     python -m repro synth KMeans --device stratix10
 
@@ -24,7 +26,7 @@ from ..altis.registry import APP_FACTORIES, make_app
 from ..perfmodel.spec import DEVICE_SPECS, get_spec
 from .resultdb import ResultDB
 
-__all__ = ["main", "build_parser", "run_benchmark"]
+__all__ = ["main", "build_parser", "run_benchmark", "resolve_config"]
 
 
 def _add_trace_args(sub_parser: argparse.ArgumentParser) -> None:
@@ -151,6 +153,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="benchmark record file to append the "
                             "trajectory record to "
                             "(default: BENCH_executor.json)")
+    _add_trace_args(bench)
+
+    profile = sub.add_parser(
+        "profile", help="run one benchmark under tracing and write a "
+                        "per-kernel profile report")
+    profile.add_argument("benchmark",
+                         help="benchmark name, case/spacing-insensitive "
+                              "(e.g. nw, fdtd2d, pf-naive; see "
+                              "'repro list')")
+    profile.add_argument("--device", default="rtx2080",
+                         choices=sorted(DEVICE_SPECS))
+    profile.add_argument("--variant", default="sycl_opt",
+                         choices=[v.value for v in Variant])
+    profile.add_argument("--mode", default=None,
+                         choices=["auto", "vector", "group", "item"],
+                         help="pin one executor path for kernels that "
+                              "implement it (default: auto)")
+    profile.add_argument("--scale", type=float, default=None,
+                         help="functional problem scale (default: 2x the "
+                              "functional test scale)")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="workload seed")
+    profile.add_argument("--quick", action="store_true",
+                         help="CI-sized run: profile at the functional "
+                              "test scale instead of 2x")
+    profile.add_argument("--out", default=None, metavar="DIR",
+                         help="artifact directory for profile.json / "
+                              "profile.md / profile.folded / trace.json "
+                              "(default: profile_<benchmark>)")
+    profile.add_argument("--quiet", action="store_true",
+                         help="write the artifacts without printing the "
+                              "report")
+
+    perfdiff = sub.add_parser(
+        "perfdiff", help="compare the last two bench trajectory records; "
+                         "exit 1 on regression")
+    perfdiff.add_argument("--bench", default="BENCH_executor.json",
+                          metavar="PATH",
+                          help="trajectory file written by 'repro bench' "
+                               "(default: BENCH_executor.json)")
 
     sub.add_parser("migrate", help="print the §3.2 migration report")
 
@@ -311,18 +353,77 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import time
+
     from ..common.errors import ReproError
     from .bench import render_bench, run_bench
 
+    # the CLI stamps the record; run_bench itself stays clock-free when
+    # a caller supplies the timestamp
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     try:
         record, path = run_bench(args.out, quick=args.quick,
-                                 repeats=args.repeats)
+                                 repeats=args.repeats, timestamp=timestamp)
     except ReproError as exc:
         print(f"bench failed verification: {exc}")
         return 1
     print(render_bench(record))
     print(f"trajectory record appended to {path}")
     return 0
+
+
+def resolve_config(name: str) -> str:
+    """Registry key for a case/spacing-insensitive benchmark name.
+
+    ``nw`` / ``NW``, ``fdtd2d`` / ``FDTD2D``, ``pf-naive`` / ``PF
+    Naive`` all resolve; unknown names raise ``SystemExit`` with the
+    available list (argparse-style)."""
+    import re
+
+    def norm(s: str) -> str:
+        return re.sub(r"[\s_-]+", "", s).lower()
+
+    wanted = norm(name)
+    for key in APP_FACTORIES:
+        if norm(key) == wanted:
+            return key
+    raise SystemExit(
+        f"repro profile: unknown benchmark {name!r}; "
+        f"choose from {sorted(APP_FACTORIES)}")
+
+
+def _cmd_profile(args) -> int:
+    from ..sycl.plan import clear_plan_caches
+    from ..trace.profile import profile_functional, render_profile, \
+        write_profile
+    from .runner import _DEFAULT_SCALES
+
+    config = resolve_config(args.benchmark)
+    scale = args.scale
+    if scale is None:
+        base = _DEFAULT_SCALES.get(config, 0.02)
+        scale = base if args.quick else base * 2
+    mode = None if args.mode == "auto" else args.mode
+    clear_plan_caches()  # within-run compile/hit counts, not leftovers
+    run = profile_functional(config, device_key=args.device,
+                             variant=args.variant, mode=mode,
+                             scale=scale, seed=args.seed)
+    out = args.out or f"profile_{args.benchmark.lower().replace(' ', '_')}"
+    paths = write_profile(out, run)
+    if not args.quiet:
+        print(render_profile(run.profile))
+    print("profile artifacts:")
+    for name, path in paths.items():
+        print(f"  {name:<16} {path}")
+    return 0
+
+
+def _cmd_perfdiff(args) -> int:
+    from .perfdiff import perfdiff, render_perfdiff
+
+    result = perfdiff(args.bench)
+    print(render_perfdiff(result))
+    return result.exit_code
 
 
 def _cmd_migrate(_args) -> int:
@@ -360,6 +461,8 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "suite": _cmd_suite,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
+    "perfdiff": _cmd_perfdiff,
     "migrate": _cmd_migrate,
     "synth": _cmd_synth,
 }

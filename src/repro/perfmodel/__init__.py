@@ -14,6 +14,8 @@ from .spec import (
     fpga_peak_fp32_tflops,
     get_spec,
     list_specs,
+    roofline_attainable_flops,
+    roofline_point,
 )
 from .timeline import RunDecomposition, model_for, time_launch_plan
 from .traits import TRAITS, ImplVariant, Trait, combine
@@ -35,6 +37,8 @@ __all__ = [
     "fpga_peak_fp32_tflops",
     "get_spec",
     "list_specs",
+    "roofline_attainable_flops",
+    "roofline_point",
     "RunDecomposition",
     "model_for",
     "time_launch_plan",

@@ -39,6 +39,7 @@ from .plan import (
     compile_plan,
     get_plan,
     plan_cache_info,
+    plan_pool_stats,
     plans_disabled,
     set_plan_cache_limit,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "get_plan",
     "compile_plan",
     "plan_cache_info",
+    "plan_pool_stats",
     "clear_plan_caches",
     "set_plan_cache_limit",
     "plans_disabled",

@@ -84,6 +84,7 @@ __all__ = [
     "plan_cache_info",
     "clear_plan_caches",
     "set_plan_cache_limit",
+    "plan_pool_stats",
     "plans_disabled",
     "plans_enabled",
 ]
@@ -145,6 +146,38 @@ def clear_plan_caches() -> None:
     with _LOCK:
         _CACHE.clear()
         _HITS = _MISSES = _COMPILES = _EVICTIONS = 0
+
+
+def plan_pool_stats() -> dict:
+    """Work-group-pool footprint of the live plan cache.
+
+    Walks the cached plans and reports how many have materialized their
+    *calling thread's* pooled ``Group`` objects (pools are thread-local,
+    so other workers' pools are invisible here by design), how many
+    pooled groups that is in total, and how many plans opted into
+    ``local_mem_reuse``.  Used by the ``repro profile`` report.
+    """
+    with _LOCK:
+        plans = list(_CACHE.values())
+    pooled_plans = 0
+    poolable_groups = 0
+    materialized_groups = 0
+    local_mem_reuse_plans = 0
+    for plan in plans:
+        poolable_groups += plan.num_groups
+        if plan.local_mem_reuse:
+            local_mem_reuse_plans += 1
+        groups = getattr(plan._tls, "groups", None)
+        if groups is not None:
+            pooled_plans += 1
+            materialized_groups += len(groups)
+    return {
+        "plans": len(plans),
+        "pooled_plans": pooled_plans,
+        "poolable_groups": poolable_groups,
+        "materialized_groups": materialized_groups,
+        "local_mem_reuse_plans": local_mem_reuse_plans,
+    }
 
 
 def set_plan_cache_limit(maxsize: int) -> int:

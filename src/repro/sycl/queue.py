@@ -349,7 +349,8 @@ class Queue:
             return self._launch_inner(kernel, nd_range, args, profile, handler,
                                       force_item, mode)
         with tracer.span(f"launch:{kernel.name}", "launch",
-                         kernel=kernel.name, device=self.device.spec.name) as sp:
+                         kernel=kernel.name, device=self.device.spec.name,
+                         device_key=self.device.spec.key) as sp:
             event = self._launch_inner(kernel, nd_range, args, profile,
                                        handler, force_item, mode)
             entry = self.timeline[-1]
@@ -361,6 +362,11 @@ class Queue:
                 modeled_device_us=entry.device_s * 1e6,
                 modeled_overhead_us=entry.overhead_s * 1e6,
             )
+            if profile is not None:
+                # KernelProfile work counters, for roofline placement
+                sp.args.update(flops=profile.flops,
+                               global_bytes=profile.global_bytes,
+                               fp64=profile.fp64)
         _trace_metrics.histogram("queue.launch_wall_us").observe(
             tracer.now_us() - sp.start_us)
         return event

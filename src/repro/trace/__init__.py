@@ -2,13 +2,18 @@
 
 Hierarchical spans (run → app → launch → kernel-form → barrier-phase,
 plus modeled-clock spans from the queue and the perf model), a
-process-wide metrics registry, and Chrome-trace JSON export.  See
+process-wide metrics registry, Chrome-trace JSON export, and the
+``repro profile`` aggregation layer (per-kernel hotspots, Fig. 1
+decomposition, roofline placement, flamegraph export).  See
 docs/observability.md.
 """
 
 from .export import (dumps_chrome_trace, launch_table, to_chrome_trace,
                      write_chrome_trace)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from .profile import (PROFILE_SCHEMA, ProfileRun, build_profile,
+                      collapsed_stacks, profile_functional, render_profile,
+                      write_flamegraph, write_profile)
 from .spans import (Span, Tracer, current_tracer, install_tracer, span,
                     tracing)
 
@@ -28,4 +33,12 @@ __all__ = [
     "dumps_chrome_trace",
     "write_chrome_trace",
     "launch_table",
+    "PROFILE_SCHEMA",
+    "ProfileRun",
+    "build_profile",
+    "profile_functional",
+    "render_profile",
+    "collapsed_stacks",
+    "write_flamegraph",
+    "write_profile",
 ]

@@ -68,17 +68,25 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary with log10 buckets.
+    """Streaming summary with log10 buckets and quantile estimates.
 
     Tracks count/sum/min/max plus decade buckets (``1e-1``..``1e9``
     upper bounds), enough to see the shape of launch costs without
-    storing samples.
+    storing every sample.  A bounded reservoir additionally supports
+    p50/p95/p99 estimates: once ``RESERVOIR`` samples are held, every
+    other one is dropped and the keep-stride doubles, so the reservoir
+    stays an evenly spaced (deterministic, order-dependent — never
+    random) subsample of the observation sequence.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "_samples", "_stride", "_lock")
 
     #: upper bounds of the decade buckets; the last bucket is +inf
     BOUNDS = tuple(10.0 ** e for e in range(-1, 10))
+
+    #: reservoir capacity; halved (stride doubled) when exceeded
+    RESERVOIR = 1024
 
     def __init__(self, name: str):
         self.name = name
@@ -87,6 +95,8 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.buckets = [0] * (len(self.BOUNDS) + 1)
+        self._samples: list[float] = []
+        self._stride = 1
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -104,10 +114,31 @@ class Histogram:
                     break
             else:
                 self.buckets[-1] += 1
+            if self.count % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) > self.RESERVOIR:
+                    self._samples = self._samples[1::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile (``q`` in 0..100) over the reservoir.
+
+        Exact while fewer than ``RESERVOIR`` values were observed;
+        an evenly spaced subsample estimate afterwards.  ``None`` when
+        no values were observed.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q!r} outside 0..100")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        rank = max(1, math.ceil(q / 100.0 * len(samples)))
+        return samples[rank - 1]
 
     def snapshot(self) -> dict:
         return {
@@ -117,6 +148,9 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
             "buckets": list(self.buckets),
         }
 

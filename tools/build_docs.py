@@ -43,6 +43,7 @@ API_MODULES = [
     "repro.harness.reporting",
     "repro.harness.cli",
     "repro.harness.bench",
+    "repro.harness.perfdiff",
     "repro.resilience",
     "repro.resilience.faults",
     "repro.resilience.retry",
@@ -50,6 +51,7 @@ API_MODULES = [
     "repro.trace",
     "repro.trace.spans",
     "repro.trace.metrics",
+    "repro.trace.profile",
 ]
 
 #: packages whose every submodule must be *classified* — either
