@@ -56,8 +56,12 @@ def srad_step(img: np.ndarray, lam: float = LAMBDA) -> np.ndarray:
     g2 = (dN * dN + dS * dS + dW * dW + dE * dE) / (img * img)
     l = (dN + dS + dW + dE) / img
     num = 0.5 * g2 - (1.0 / 16.0) * (l * l)
-    den = (1.0 + 0.25 * l) ** 2
-    qsqr = num / den
+    # den * den, not den ** 2: scalar float32 ``**`` and the batched
+    # array ``**`` round differently by 1 ulp on some inputs; an explicit
+    # multiply is bit-identical across every execution tier (and matches
+    # the original Altis source, which writes (1+.25*L)*(1+.25*L))
+    den = 1.0 + 0.25 * l
+    qsqr = num / (den * den)
     c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)))
     c = np.clip(c, 0.0, 1.0)
 
@@ -76,22 +80,25 @@ def srad_reference(img: np.ndarray, iterations: int, lam: float = LAMBDA) -> np.
 
 
 def _srad1_item(item, img, c_arr, dN_a, dS_a, dW_a, dE_a, q0sqr, rows, cols):
+    # np.minimum/np.maximum instead of the min/max builtins: identical
+    # per-element, and it keeps the kernel inside the batchable dialect
+    # of repro.sycl.vectorize (the compiled tier's stencil-clamp form)
     i = item.get_global_id(0)
     j = item.get_global_id(1)
     if i >= rows or j >= cols:
         return
     v = img[i, j]
-    dn = img[max(i - 1, 0), j] - v
-    ds = img[min(i + 1, rows - 1), j] - v
-    dw = img[i, max(j - 1, 0)] - v
-    de = img[i, min(j + 1, cols - 1)] - v
+    dn = img[np.maximum(i - 1, 0), j] - v
+    ds = img[np.minimum(i + 1, rows - 1), j] - v
+    dw = img[i, np.maximum(j - 1, 0)] - v
+    de = img[i, np.minimum(j + 1, cols - 1)] - v
     g2 = (dn * dn + ds * ds + dw * dw + de * de) / (v * v)
     l = (dn + ds + dw + de) / v
     num = 0.5 * g2 - (1.0 / 16.0) * (l * l)
-    den = (1.0 + 0.25 * l) ** 2
-    qsqr = num / den
+    den = 1.0 + 0.25 * l
+    qsqr = num / (den * den)
     c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)))
-    c_arr[i, j] = min(max(c, 0.0), 1.0)
+    c_arr[i, j] = np.minimum(np.maximum(c, 0.0), 1.0)
     dN_a[i, j], dS_a[i, j], dW_a[i, j], dE_a[i, j] = dn, ds, dw, de
 
 
@@ -118,8 +125,8 @@ def _srad1_group(group, img, c_arr, dN_a, dS_a, dW_a, dE_a, q0sqr, rows, cols):
     g2 = (dn * dn + ds * ds + dw * dw + de * de) / (v * v)
     l = (dn + ds + dw + de) / v
     num = 0.5 * g2 - (1.0 / 16.0) * (l * l)
-    den = (1.0 + 0.25 * l) ** 2
-    qsqr = num / den
+    den = 1.0 + 0.25 * l
+    qsqr = num / (den * den)
     c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)))
     c_arr[i0:i1, j0:j1] = np.clip(c, 0.0, 1.0)
     dN_a[i0:i1, j0:j1] = dn
@@ -135,8 +142,8 @@ def _srad1_vector(nd_range, img, c_arr, dN_a, dS_a, dW_a, dE_a, q0sqr, rows, col
     g2 = (dN * dN + dS * dS + dW * dW + dE * dE) / (v * v)
     l = (dN + dS + dW + dE) / v
     num = 0.5 * g2 - (1.0 / 16.0) * (l * l)
-    den = (1.0 + 0.25 * l) ** 2
-    qsqr = num / den
+    den = 1.0 + 0.25 * l
+    qsqr = num / (den * den)
     c = 1.0 / (1.0 + (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr)))
     c_arr[:rows, :cols] = np.clip(c, 0.0, 1.0)
     dN_a[:rows, :cols] = dN
@@ -151,8 +158,8 @@ def _srad2_item(item, img, c_arr, dN_a, dS_a, dW_a, dE_a, lam, rows, cols):
     if i >= rows or j >= cols:
         return
     c = c_arr[i, j]
-    c_s = c_arr[min(i + 1, rows - 1), j]
-    c_e = c_arr[i, min(j + 1, cols - 1)]
+    c_s = c_arr[np.minimum(i + 1, rows - 1), j]
+    c_e = c_arr[i, np.minimum(j + 1, cols - 1)]
     d = (c * dN_a[i, j] + c_s * dS_a[i, j] + c * dW_a[i, j] + c_e * dE_a[i, j])
     img[i, j] = img[i, j] + 0.25 * lam * d
 

@@ -68,7 +68,10 @@ def _mark_item(item, records, flags, n, threshold):
     i = item.get_global_linear_id()
     if i >= n:
         return
-    key = float(records[i, 0]) / np.iinfo(np.int32).max
+    # int32 values are exact in float64, so dividing by a float64 max is
+    # bit-identical to float(...)/int — and keeps the kernel inside the
+    # compiled tier's batchable dialect (no scalar float() builtin)
+    key = records[i, 0] / np.float64(np.iinfo(np.int32).max)
     flags[i] = 1 if key < threshold else 0
 
 

@@ -20,6 +20,11 @@ trajectory of the executor is tracked across commits:
 * **SRAD group path** — repeated identically-shaped 2-D launches of the
   two diffusion kernels, planned vs un-planned, asserting byte-identical
   images.
+* **Executor tiers** — the same SRAD loop through the per-item
+  interpreter, the group interpreter, and the compiled (batched-numpy)
+  tier of :mod:`repro.sycl.vectorize`, asserting the compiled image is
+  byte-identical to the per-item one and recording the compiled-tier
+  speedups plus where every cached plan landed.
 * **Figure sweep** — cold vs warm rebuild of a paper figure through a
   fresh :class:`~repro.harness.resultdb.FigureCache`.
 
@@ -58,6 +63,7 @@ __all__ = [
     "bench_environment",
     "bench_nw_wavefront",
     "bench_srad_group",
+    "bench_executor_tiers",
     "bench_figure_sweep",
     "run_bench",
     "append_trajectory",
@@ -262,6 +268,103 @@ def bench_srad_group(*, scale: float = 0.016, iterations: int = 8,
 
 
 # ---------------------------------------------------------------------------
+# Execution tiers: compiled (batched numpy) vs group vs per-item on SRAD
+# ---------------------------------------------------------------------------
+
+def bench_executor_tiers(*, scale: float = 0.016, iterations: int = 8,
+                         seed: int = 11, best_of: int = 5) -> dict:
+    """Compiled tier vs the group and per-item interpreters on SRAD.
+
+    The same diffusion loop as :func:`bench_srad_group`, run three ways:
+    ``mode="item"`` (the per-item interpreter — the reference the
+    compiled tier validates against), ``mode="group"`` (per-work-group
+    numpy), and ``mode="compiled"`` (the batched program from
+    :mod:`repro.sycl.vectorize`, evaluated once per launch over the
+    memoized index lattice).  Asserts the compiled image is
+    byte-identical to the per-item one, and records where each plan
+    landed (:func:`plan_cache_info`'s ``tiers``) plus how many kernels
+    fell back (``vectorize.fallback``) during an NW run in compiled
+    mode — NW's blocked wavefront kernel is barrier- and
+    local-tile-shaped, the documented static-fallback case.
+    """
+    from ..altis.srad import Srad
+    from ..sycl import NdRange, Range
+    from ..sycl.executor import run_nd_range
+    from ..sycl.plan import clear_plan_caches, plan_cache_info
+    from ..trace.metrics import registry
+
+    app = Srad()
+    wl = app.generate(1, seed=seed, scale=scale)
+    rows, cols = wl.params["rows"], wl.params["cols"]
+    lam = wl.params["lam"]
+    ks = app.kernels()
+    k1, k2 = ks["srad1"], ks["srad2"]
+    wg = 16 if min(rows, cols) >= 16 else 8
+    gr = -(-rows // wg) * wg
+    gc = -(-cols // wg) * wg
+    base = wl["img"].astype(np.float32)
+
+    def diffuse(mode: str):
+        img = base.copy()
+        c_arr = np.zeros_like(img)
+        dN = np.zeros_like(img)
+        dS = np.zeros_like(img)
+        dW = np.zeros_like(img)
+        dE = np.zeros_like(img)
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            mean = img[:rows, :cols].mean()
+            var = img[:rows, :cols].var()
+            q0sqr = var / (mean * mean)
+            nd = NdRange(Range(gr, gc), Range(wg, wg))
+            run_nd_range(k1, nd, (img, c_arr, dN, dS, dW, dE, q0sqr,
+                                  rows, cols), mode=mode)
+            run_nd_range(k2, nd, (img, c_arr, dN, dS, dW, dE, lam,
+                                  rows, cols), mode=mode)
+        return time.perf_counter() - t0, img
+
+    clear_plan_caches()
+    # warm every tier's plans; the compiled plans' first launch is their
+    # shadow-validation launch, so the timed runs below are all hot
+    for mode in ("item", "group", "compiled"):
+        diffuse(mode)
+    tiers = plan_cache_info()["tiers"]
+    item_s, img_item = _best(lambda: diffuse("item"), best_of)
+    group_s, img_group = _best(lambda: diffuse("group"), best_of)
+    compiled_s, img_compiled = _best(lambda: diffuse("compiled"), best_of)
+    if img_compiled.tobytes() != img_item.tobytes():
+        raise ReproError(
+            "tier bench: compiled image diverged from the per-item "
+            "interpreter")
+    if img_group.tobytes() != img_item.tobytes():
+        raise ReproError(
+            "tier bench: group image diverged from the per-item interpreter")
+
+    # NW in compiled mode: the wavefront kernel statically falls back
+    # (barrier generator with local tiles); the counter must say so.
+    fallback = registry.counter("vectorize.fallback")
+    before = fallback.value
+    from .runner import run_functional
+    run_functional("NW", seed=seed, mode="compiled")
+    nw_fallbacks = fallback.value - before
+
+    return {
+        "workload": (f"SRAD tiers, {rows}x{cols}, {iterations} iterations "
+                     "(2 launches each), identical inputs per tier"),
+        "launches": 2 * iterations,
+        "best_of": best_of,
+        "item_s": round(item_s, 6),
+        "group_s": round(group_s, 6),
+        "compiled_s": round(compiled_s, 6),
+        "compiled_vs_item": round(item_s / compiled_s, 2),
+        "compiled_vs_group": round(group_s / compiled_s, 2),
+        "byte_identical": True,
+        "tiers": dict(sorted(tiers.items())),
+        "nw_compiled_fallbacks": nw_fallbacks,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Figure sweep: cold vs warm rebuild through the persistent cache
 # ---------------------------------------------------------------------------
 
@@ -353,6 +456,7 @@ def run_bench(out: str | Path | None = None, *, quick: bool = False,
         "environment": bench_environment(),
         "nw_wavefront": bench_nw_wavefront(trials=trials, best_of=best_of),
         "srad_group": bench_srad_group(best_of=max(3, best_of - 2)),
+        "executor_tiers": bench_executor_tiers(best_of=max(3, best_of - 2)),
         "figure_sweep": bench_figure_sweep(quick=quick),
     }
     path = Path(out) if out is not None else Path("BENCH_executor.json")
@@ -383,4 +487,18 @@ def render_bench(record: dict) -> str:
         f"{figs['speedup_warm_over_cold']:.2f}x, byte-identical "
         f"{figs['byte_identical']}",
     ]
+    tiers = record.get("executor_tiers")
+    if tiers is not None:
+        tier_counts = ", ".join(f"{k}={v}" for k, v in
+                                sorted(tiers["tiers"].items()))
+        lines[-1:-1] = [
+            f"executor tiers : compiled {tiers['compiled_s']*1e3:.2f} ms vs "
+            f"item {tiers['item_s']*1e3:.2f} ms vs "
+            f"group {tiers['group_s']*1e3:.2f} ms",
+            f"  compiled speedup: {tiers['compiled_vs_item']:.2f}x vs item, "
+            f"{tiers['compiled_vs_group']:.2f}x vs group, byte-identical "
+            f"{tiers['byte_identical']}",
+            f"  plan tiers      : {tier_counts}; NW compiled-mode fallbacks "
+            f"{tiers['nw_compiled_fallbacks']}",
+        ]
     return "\n".join(lines)

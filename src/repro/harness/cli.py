@@ -89,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--variant", default="sycl_opt",
                      choices=[v.value for v in Variant])
     run.add_argument("--mode", default=None,
-                     choices=["auto", "vector", "group", "item"],
+                     choices=["auto", "vector", "group", "item", "compiled"],
                      help="pin one executor path for kernels that "
                           "implement it (default: auto)")
     run.add_argument("--quiet", action="store_true")
@@ -120,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[v.value for v in Variant])
     suite.add_argument("--workers", type=int, default=None)
     suite.add_argument("--mode", default=None,
-                       choices=["auto", "vector", "group", "item"],
+                       choices=["auto", "vector", "group", "item", "compiled"],
                        help="pin one executor path for kernels that "
                             "implement it (default: auto)")
     suite.add_argument("--on-error", default="abort",
@@ -167,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--variant", default="sycl_opt",
                          choices=[v.value for v in Variant])
     profile.add_argument("--mode", default=None,
-                         choices=["auto", "vector", "group", "item"],
+                         choices=["auto", "vector", "group", "item", "compiled"],
                          help="pin one executor path for kernels that "
                               "implement it (default: auto)")
     profile.add_argument("--scale", type=float, default=None,

@@ -65,6 +65,9 @@ DEFAULT_TOLERANCES: tuple = (
     Watched(("nw_wavefront", "unplanned_s")),
     Watched(("nw_wavefront", "overhead_ratio"), higher_is_better=True),
     Watched(("srad_group", "warm_planned_s")),
+    Watched(("executor_tiers", "compiled_s")),
+    Watched(("executor_tiers", "compiled_vs_item"),
+            higher_is_better=True, tolerance=2.0),
     Watched(("figure_sweep", "warm_s")),
     Watched(("figure_sweep", "speedup_warm_over_cold"),
             higher_is_better=True, tolerance=2.0),

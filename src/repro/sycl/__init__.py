@@ -56,6 +56,16 @@ from .usm import (
     malloc_shared,
     mem_advise,
 )
+from .vectorize import (
+    CompiledKernel,
+    VectorizeFallback,
+    clear_vectorize_caches,
+    compile_batched,
+    eligible_form,
+    vectorize_cache_info,
+    vectorize_disabled,
+    vectorize_enabled,
+)
 
 __all__ = [
     "onedpl",
@@ -96,6 +106,15 @@ __all__ = [
     "clear_plan_caches",
     "set_plan_cache_limit",
     "plans_disabled",
+    # compiled (batched-numpy) tier
+    "CompiledKernel",
+    "VectorizeFallback",
+    "compile_batched",
+    "eligible_form",
+    "vectorize_enabled",
+    "vectorize_disabled",
+    "vectorize_cache_info",
+    "clear_vectorize_caches",
     # kernels
     "KernelSpec",
     "KernelKind",

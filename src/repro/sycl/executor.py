@@ -242,7 +242,7 @@ def _advance_barrier_phases(kernel: KernelSpec, gens: Iterable,
 # Launch entry points
 # ---------------------------------------------------------------------------
 
-_MODES = ("vector", "group", "item")
+_MODES = ("vector", "group", "item", "compiled")
 
 # populated on the first planned launch (the plan module imports this
 # one, so the executor reaches back lazily)
@@ -260,8 +260,11 @@ def _lookup_plan(kernel, nd_range, force_item, device_max_wg, mode,
                      device_max_wg=device_max_wg, mode=mode, grid=grid)
 
 
-def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None) -> str:
+def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None,
+                 allow_compiled: bool = False) -> str:
     if mode is not None and mode != "auto":
+        if mode == "compiled":
+            return _select_compiled(kernel, allow_compiled)
         if mode not in _MODES:
             raise KernelLaunchError(
                 f"unknown execution mode {mode!r}; expected one of {_MODES}")
@@ -272,6 +275,17 @@ def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None) -> str:
         return mode
     if kernel.vector_fn is not None and not force_item:
         return "vector"
+    if allow_compiled and not force_item:
+        # Auto mode takes the compiled tier only when its batched form is
+        # exactly the interpreter form auto would otherwise run, so the
+        # shadow validation compares against auto's own reference path.
+        from .vectorize import eligible_form, vectorize_enabled
+
+        if vectorize_enabled():
+            form, _reason = eligible_form(kernel)
+            interp = "group" if kernel.group_fn is not None else "item"
+            if form is not None and form == interp:
+                return "compiled"
     # force_item pins the faithful decomposed execution (no whole-range
     # shortcut); within it the executor prefers the group-vectorized form.
     if kernel.group_fn is not None:
@@ -281,6 +295,35 @@ def _select_path(kernel: KernelSpec, force_item: bool, mode: str | None) -> str:
     raise KernelLaunchError(
         f"kernel {kernel.name!r} has no item_fn (force_item requested)"
     )
+
+
+def _select_compiled(kernel: KernelSpec, allow_compiled: bool) -> str:
+    """Resolve ``mode="compiled"``: the batched tier when eligible, else
+    a recorded fallback to the kernel's reference interpreter form."""
+    if kernel.item_fn is not None:
+        fallback = "item"
+    elif kernel.group_fn is not None:
+        fallback = "group"
+    else:
+        raise KernelLaunchError(
+            f"kernel {kernel.name!r} has no item_fn or group_fn "
+            "(mode='compiled' requested)")
+    from .vectorize import eligible_form, note_fallback, vectorize_enabled
+
+    if not allow_compiled:
+        # the compiled tier lives in the plan layer; plan-less launches
+        # (use_plan=False) take the interpreter reference form
+        note_fallback(kernel.name, "plan layer bypassed (use_plan=False)",
+                      "static")
+        return fallback
+    if not vectorize_enabled():
+        # deliberate vectorize_disabled() block: not a coverage miss
+        return fallback
+    form, reason = eligible_form(kernel)
+    if form is None:
+        note_fallback(kernel.name, reason, "static")
+        return fallback
+    return "compiled"
 
 
 def run_grid_synchronized(kernel: KernelSpec, nd_range: NdRange,
@@ -357,9 +400,12 @@ def run_nd_range(kernel: KernelSpec, nd_range: NdRange, args: tuple,
     """Execute an ND-range kernel functionally.
 
     ``mode`` pins an execution path explicitly (``"vector"``,
-    ``"group"`` or ``"item"``); otherwise the fastest available path is
-    selected — the whole-range vector form unless ``force_item``, then
-    the group-vectorized form, then the per-item form.
+    ``"group"``, ``"item"`` or ``"compiled"`` — the batched-numpy tier
+    of :mod:`repro.sycl.vectorize`, which falls back to the reference
+    interpreter form when the kernel is not batchable); otherwise the
+    fastest available path is selected — the whole-range vector form
+    unless ``force_item``, then the compiled tier when it matches the
+    reference form, then the group-vectorized form, then per-item.
 
     By default the launch goes through the plan cache
     (:mod:`repro.sycl.plan`): the first launch of a shape compiles a

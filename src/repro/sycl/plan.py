@@ -76,6 +76,12 @@ from .executor import (
 )
 from .kernel import KernelSpec
 from .ndrange import Group, NdItem, NdRange
+from .vectorize import (
+    VectorizeFallback,
+    compile_batched,
+    note_fallback as _note_vectorize_fallback,
+    vectorize_enabled,
+)
 
 __all__ = [
     "LaunchPlan",
@@ -130,6 +136,9 @@ def plan_cache_info() -> dict:
     """Counters of the process-wide plan cache (mirrors
     :func:`~repro.sycl.executor.execution_cache_info`)."""
     with _LOCK:
+        tiers: dict = {}
+        for plan in _CACHE.values():
+            tiers[plan.path] = tiers.get(plan.path, 0) + 1
         return {
             "hits": _HITS,
             "misses": _MISSES,
@@ -137,6 +146,10 @@ def plan_cache_info() -> dict:
             "evictions": _EVICTIONS,
             "size": len(_CACHE),
             "maxsize": _MAXSIZE,
+            # per-plan execution tier (compiled / vector / group / item)
+            # so tier regressions are visible without tracing; a demoted
+            # compiled plan shows up under its interpreter tier
+            "tiers": tiers,
         }
 
 
@@ -212,6 +225,9 @@ def _plan_key(kernel: KernelSpec, nd_range: NdRange, force_item: bool,
         kernel.attributes,
         nd_range.global_range.dims, nd_range.local_range.dims,
         force_item, mode, device_max_wg, grid,
+        # a vectorize_disabled() block must never reuse a plan compiled
+        # to the batched tier (and vice versa) — the flag splits the key
+        vectorize_enabled(),
     )
 
 
@@ -308,7 +324,8 @@ class LaunchPlan:
     __slots__ = (
         "kernel", "nd_range", "path", "grid", "is_generator", "arity",
         "run_fn", "group_ids", "lattice", "group_size", "num_groups",
-        "total_items", "local_mem_reuse", "barrier_schedule", "_tls",
+        "total_items", "local_mem_reuse", "barrier_schedule", "compiled",
+        "_tls",
     )
 
     def __init__(self, kernel: KernelSpec, nd_range: NdRange,
@@ -318,11 +335,21 @@ class LaunchPlan:
         self.kernel = kernel
         self.nd_range = nd_range
         self.grid = grid
+        self.compiled = None
         if grid:
             self.path = _select_grid_path(kernel)
         else:
-            self.path = _select_path(kernel, force_item, mode)
-        self.run_fn = getattr(kernel, f"{self.path}_fn")
+            self.path = _select_path(kernel, force_item, mode,
+                                     allow_compiled=True)
+        if self.path == "compiled":
+            self.compiled, _reason = compile_batched(kernel, nd_range)
+            if self.compiled is None:  # defensive: eligibility raced
+                self.path = "item" if kernel.item_fn is not None else "group"
+        # the interpreter form behind the plan: for a compiled plan this
+        # is the validation reference / demotion target
+        interp_path = (self.compiled.fallback_path
+                       if self.compiled is not None else self.path)
+        self.run_fn = getattr(kernel, f"{interp_path}_fn")
         self.is_generator = inspect.isgeneratorfunction(self.run_fn)
         code = getattr(self.run_fn, "__code__", None)
         #: positional binding order of the kernel call: the index object
@@ -335,7 +362,7 @@ class LaunchPlan:
         self.group_ids = _point_grid(nd_range.group_range().dims)
         self.lattice = (_nd_lattice(nd_range.global_range.dims,
                                     nd_range.local_range.dims)
-                        if self.path == "item" else None)
+                        if interp_path == "item" else None)
         self.local_mem_reuse = bool(kernel.feature("local_mem_reuse"))
         #: per-group barrier-phase counts, recorded once by the first
         #: strict execution (``None`` until then; ``()`` for paths that
@@ -354,6 +381,10 @@ class LaunchPlan:
         return {
             "kernel": self.kernel.name,
             "path": self.path,
+            "compiled_form": (self.compiled.form
+                              if self.compiled is not None else None),
+            "compiled_validated": (self.compiled.validated
+                                   if self.compiled is not None else None),
             "grid": self.grid,
             "is_generator": self.is_generator,
             "arity": self.arity,
@@ -418,6 +449,8 @@ class LaunchPlan:
         stats = ExecutionStats()
         stats.path = self.path
         tracer = current_tracer()
+        if self.path == "compiled":
+            return self._execute_compiled(args, stats, tracer)
         if tracer is not None:
             # Traced launches keep the exact legacy span structure by
             # delegating to the shared path runner (fresh groups, the
@@ -444,6 +477,91 @@ class LaunchPlan:
         else:
             self._run_item(args, stats)
         return stats
+
+    def _execute_compiled(self, args: tuple, stats: ExecutionStats,
+                          tracer) -> ExecutionStats:
+        ck = self.compiled
+        if ck is None:  # demoted by a concurrent launch (GIL-ordered:
+            # _demote writes path before compiled, so path is final here)
+            stats.path = self.path
+            if tracer is not None:
+                with tracer.span(f"{self.kernel.name}:{self.path}",
+                                 "kernel-form", kernel=self.kernel.name,
+                                 path=self.path):
+                    _run_path(self.kernel, self.nd_range, args, self.path,
+                              stats, tracer)
+                _note_execution_metrics(stats)
+            else:
+                _run_path(self.kernel, self.nd_range, args, self.path,
+                          stats, None)
+            return stats
+        if tracer is not None:
+            with tracer.span(f"{self.kernel.name}:compiled", "kernel-form",
+                             kernel=self.kernel.name, path="compiled",
+                             batched_form=ck.form, validated=ck.validated):
+                self._run_compiled(ck, args, stats, tracer)
+            _note_execution_metrics(stats)
+        else:
+            self._run_compiled(ck, args, stats, None)
+        return stats
+
+    def _run_compiled(self, ck, args: tuple, stats: ExecutionStats,
+                      tracer) -> None:
+        """One launch of the batched tier.
+
+        First launch (``validated`` False): the batched program runs on
+        buffer *copies* while the interpreter reference form runs on the
+        real buffers; a bitwise match promotes the plan, anything else
+        permanently demotes it — the interpreter result is authoritative
+        either way, so the launch's outputs are byte-identical to the
+        interpreter by construction.  Validated launches run the batched
+        program directly; argument types the batched runtime cannot
+        represent demote *before* any buffer is touched.  Data-dependent
+        numpy errors on a validated plan (e.g. an out-of-bounds indirect
+        store) propagate, exactly as the interpreter's would mid-loop.
+        """
+        if ck.validated:
+            try:
+                bound = ck.bind(args)
+            except VectorizeFallback as exc:
+                self._demote(str(exc))
+                stats.path = self.path
+                _run_path(self.kernel, self.nd_range, args, self.path,
+                          stats, tracer)
+                return
+            phases = ck.run(bound, tracer)
+            stats.groups = self.num_groups
+            stats.items = self.total_items
+            if ck.is_generator:
+                # one batched phase = one barrier phase in every group
+                stats.barrier_phases = phases * self.num_groups
+                stats.gen_advances = phases + 1
+            return
+        try:
+            shadow_args = ck.shadow_run(args)
+        except Exception as exc:  # noqa: BLE001 — any failure demotes
+            self._demote(f"{type(exc).__name__}: {exc}")
+            stats.path = self.path
+            _run_path(self.kernel, self.nd_range, args, self.path,
+                      stats, tracer)
+            return
+        # authoritative interpreter run on the real buffers
+        _run_path(self.kernel, self.nd_range, args, ck.fallback_path,
+                  stats, tracer)
+        if ck.buffers_match(shadow_args, args):
+            ck.validated = True  # stats.path stays "compiled"
+        else:
+            self._demote("batched result diverged from the interpreter")
+            stats.path = self.path
+
+    def _demote(self, reason: str) -> None:
+        """Permanently fall this plan back to its interpreter form."""
+        ck = self.compiled
+        if ck is None:  # concurrent launch demoted first
+            return
+        _note_vectorize_fallback(self.kernel.name, reason, "runtime")
+        self.path = ck.fallback_path
+        self.compiled = None
 
     def _run_group(self, args: tuple, stats: ExecutionStats) -> None:
         locals_ = [a for a in args if isinstance(a, LocalAccessor)]

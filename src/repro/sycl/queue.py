@@ -182,6 +182,10 @@ class Queue:
         it (``"vector"``/``"group"``/``"item"``); kernels without that
         form keep the automatic selection.  This is how the differential
         tests pin one kernel form across a whole ``run_sycl`` pipeline.
+        ``"compiled"`` pins the batched-numpy tier
+        (:mod:`repro.sycl.vectorize`) for every nd-range kernel with an
+        interpreter form; ineligible kernels fall back to that reference
+        form with a recorded ``vectorize.fallback``.
     """
 
     def __init__(self, dev: Device | str | None = None, *,
@@ -200,11 +204,11 @@ class Queue:
         self.timing = timing or SpecTiming(dev)
         if default_mode in ("auto", ""):
             default_mode = None
-        if default_mode is not None and default_mode not in ("vector",
-                                                             "group", "item"):
+        if default_mode is not None and default_mode not in (
+                "vector", "group", "item", "compiled"):
             raise InvalidParameterError(
                 f"unknown default_mode {default_mode!r}; "
-                "expected vector/group/item/auto")
+                "expected vector/group/item/compiled/auto")
         self.default_mode = default_mode
         #: modeled device clock, nanoseconds
         self.now_ns: int = 0
@@ -335,8 +339,15 @@ class Queue:
         pin one and the kernel implements that form."""
         if mode is not None or self.default_mode is None:
             return mode
-        if (kernel.kind == KernelKind.ND_RANGE
-                and getattr(kernel, f"{self.default_mode}_fn") is not None):
+        if kernel.kind != KernelKind.ND_RANGE:
+            return None
+        if self.default_mode == "compiled":
+            # the compiled tier wraps an interpreter form; either one
+            # qualifies (static fallback handles ineligible kernels)
+            if kernel.item_fn is not None or kernel.group_fn is not None:
+                return "compiled"
+            return None
+        if getattr(kernel, f"{self.default_mode}_fn") is not None:
             return self.default_mode
         return None
 

@@ -124,21 +124,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float | None:
+    def percentile(self, q: float) -> float:
         """Nearest-rank percentile (``q`` in 0..100) over the reservoir.
 
         Exact while fewer than ``RESERVOIR`` values were observed;
-        an evenly spaced subsample estimate afterwards.  ``None`` when
-        no values were observed.
+        an evenly spaced subsample estimate afterwards.  Raises
+        :class:`ValueError` when no values were observed — a percentile
+        of an empty reservoir has no defined value, and returning a
+        placeholder silently poisons downstream arithmetic.  Callers
+        rendering optional summaries should use :meth:`snapshot`, whose
+        ``p50``/``p95``/``p99`` are ``None`` for an empty histogram.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile {q!r} outside 0..100")
         with self._lock:
             samples = sorted(self._samples)
         if not samples:
-            return None
+            raise ValueError(
+                f"percentile of histogram {self.name!r} with no samples"
+            )
         rank = max(1, math.ceil(q / 100.0 * len(samples)))
         return samples[rank - 1]
+
+    def _percentile_or_none(self, q: float) -> float | None:
+        try:
+            return self.percentile(q)
+        except ValueError:
+            return None
 
     def snapshot(self) -> dict:
         return {
@@ -148,9 +160,9 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
+            "p50": self._percentile_or_none(50.0),
+            "p95": self._percentile_or_none(95.0),
+            "p99": self._percentile_or_none(99.0),
             "buckets": list(self.buckets),
         }
 

@@ -414,7 +414,9 @@ def render_profile(profile: dict, *, deterministic: bool = False) -> str:
 
 
 def _fmt_opt(value) -> str:
-    return "--" if value is None else f"{value:.1f}"
+    # "n/a", not a number-looking placeholder: a percentile row with no
+    # samples has no defined value (Histogram.percentile raises there)
+    return "n/a" if value is None else f"{value:.1f}"
 
 
 # ---------------------------------------------------------------------------

@@ -106,10 +106,16 @@ class TestMemoizedLattices:
         assert after >= before + 2
         lattice_hits = execution_cache_info()["nd_lattice"].hits
         run_nd_range(k, nd, (out,))
+        # plan compilation consults the lattice lru a bounded number of
+        # times (the plan itself, the compiled tier's lane-array build,
+        # and the one-shot shadow-validation interpreter run)
+        after_compile = execution_cache_info()["nd_lattice"].hits
+        assert lattice_hits + 1 <= after_compile <= lattice_hits + 3
         run_nd_range(k, NdRange(Range(16), Range(4)), (out,))
         run_nd_range(k, nd, (out,))
         assert plan_cache_info()["hits"] >= 2
-        assert execution_cache_info()["nd_lattice"].hits == lattice_hits + 1
+        # warm planned launches hold the lattice reference: zero lru traffic
+        assert execution_cache_info()["nd_lattice"].hits == after_compile
         np.testing.assert_array_equal(out, 6)
 
     def test_memoized_grid_2d_correctness(self):

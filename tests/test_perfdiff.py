@@ -39,6 +39,9 @@ def _record(**overrides) -> dict:
             "wall_speedup": 1.9,
         },
         "srad_group": {"warm_planned_s": 0.05, "wall_speedup": 1.2},
+        "executor_tiers": {"item_s": 0.10, "group_s": 0.006,
+                           "compiled_s": 0.005, "compiled_vs_item": 20.0,
+                           "compiled_vs_group": 1.2},
         "figure_sweep": {"warm_s": 0.4, "cold_s": 10.0,
                          "speedup_warm_over_cold": 25.0},
     }
@@ -59,6 +62,7 @@ def _scale_walls(rec: dict, factor: float) -> dict:
     nw["unplanned_s"] = [v * factor for v in nw["unplanned_s"]]
     nw["warm_planned_s"] = [v * factor for v in nw["warm_planned_s"]]
     out["srad_group"]["warm_planned_s"] *= factor
+    out["executor_tiers"]["compiled_s"] *= factor
     out["figure_sweep"]["warm_s"] *= factor
     return out
 

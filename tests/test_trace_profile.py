@@ -249,6 +249,16 @@ def test_histogram_empty_and_validation():
     assert snap["p50"] is None and snap["p95"] is None and snap["p99"] is None
     with pytest.raises(ValueError):
         h.percentile(101.0)
+    # empty reservoir: a clear ValueError naming the histogram, never an
+    # IndexError from indexing an empty sample list
+    with pytest.raises(ValueError, match="no samples"):
+        h.percentile(50.0)
+
+
+def test_profile_renders_na_for_missing_percentiles():
+    from repro.trace.profile import _fmt_opt
+    assert _fmt_opt(None) == "n/a"
+    assert _fmt_opt(3.14159) == "3.1"
 
 
 # ---------------------------------------------------------------------------

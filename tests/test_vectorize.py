@@ -1,0 +1,359 @@
+"""Unit tests for the compiled (batched-numpy) execution tier.
+
+The tier's contract has three parts, each exercised here:
+
+* **translation** — which kernels lift into a batched program and,
+  for the ones that do not, a precise reason;
+* **execution** — batched results are byte-identical to the per-item
+  interpreter, barrier generators split into array phases, and the
+  plan's first compiled launch shadow-validates before promoting;
+* **fallback** — every ineligible or diverging kernel lands back on its
+  reference interpreter form with the ``vectorize.fallback`` metric
+  incremented and the output buffers exactly as the interpreter left
+  them.
+
+All kernels live in this file (module scope) so ``inspect.getsource``
+sees real source — the translator's one hard environmental requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sycl import (
+    KernelKind,
+    KernelSpec,
+    NdRange,
+    Queue,
+    Range,
+    compile_batched,
+    eligible_form,
+    vectorize_disabled,
+)
+from repro.sycl.executor import run_nd_range
+from repro.sycl.plan import clear_plan_caches, get_plan, plan_cache_info
+from repro.trace.metrics import registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plans():
+    clear_plan_caches()
+    yield
+    clear_plan_caches()
+
+
+def _fallback_count() -> float:
+    return registry.counter("vectorize.fallback").value
+
+
+# ---------------------------------------------------------------------------
+# Dialect kernels (module scope: the translator reads their source)
+# ---------------------------------------------------------------------------
+
+def _scale_item(item, out, src, n, factor):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    out[i] = src[i] * factor + 1.0
+
+
+def _select_item(item, out, src, n, threshold):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    v = src[i]
+    out[i] = v if v < threshold else threshold
+
+
+def _branch_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    if src[i] > 0.5:
+        out[i] = src[i] * 2.0
+    else:
+        out[i] = -src[i]
+
+
+def _stencil_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    left = src[np.maximum(i - 1, 0)]
+    right = src[np.minimum(i + 1, n - 1)]
+    out[i] = left + right - 2.0 * src[i]
+
+
+def _loop_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    acc = 0.0
+    for k in range(3):
+        acc = acc + src[i] * k
+    out[i] = acc
+
+
+def _min_builtin_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    out[i] = min(src[i], 1.0)
+
+
+def _barrier_item(item, data, scratch, n):
+    # phase 2 reads only within the lane's own work-group: a barrier
+    # synchronizes one group, so cross-group reads would be racy in both
+    # the interpreter and the batched program
+    i = item.get_global_linear_id()
+    if i < n:
+        scratch[i] = data[i] * 2.0
+    yield item.barrier()
+    base = i - item.get_local_id(0)
+    if i < n:
+        data[i] = scratch[base] + scratch[i]
+
+
+def _accumulate_item(item, out, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    out[0] += 1.0
+
+
+def _group_sum(group, out, src, n):
+    g = group.get_group_linear_id()
+    out[g] = src[g] * 3.0
+
+
+def _spec(fn, name="k", **kw):
+    return KernelSpec(name=name, kind=KernelKind.ND_RANGE, item_fn=fn, **kw)
+
+
+def _nd(n=64, wg=16):
+    return NdRange(Range(n), Range(wg))
+
+
+# ---------------------------------------------------------------------------
+# Eligibility
+# ---------------------------------------------------------------------------
+
+def test_eligible_forms():
+    for fn in (_scale_item, _select_item, _branch_item, _stencil_item):
+        assert eligible_form(_spec(fn)) == ("item", None)
+    form, reason = eligible_form(
+        KernelSpec(name="g", kind=KernelKind.ND_RANGE, group_fn=_group_sum))
+    assert (form, reason) == ("group", None)
+
+
+def test_ineligible_reasons_are_precise():
+    form, reason = eligible_form(_spec(_loop_item))
+    assert form is None and "for" in reason
+    form, reason = eligible_form(_spec(_min_builtin_item))
+    assert form is None and "np.minimum" in reason
+
+
+def test_no_vectorize_feature_opts_out():
+    spec = _spec(_scale_item, features={"no_vectorize": True})
+    form, reason = eligible_form(spec)
+    assert form is None and "no_vectorize" in reason
+
+
+def test_reference_form_only():
+    """A kernel with both forms is judged on item_fn alone: the
+    compiled program must validate against the exact path a
+    vectorize-disabled run would take."""
+    spec = KernelSpec(name="both", kind=KernelKind.ND_RANGE,
+                      item_fn=_loop_item, group_fn=_group_sum)
+    form, reason = eligible_form(spec)
+    assert form is None and reason.startswith("item_fn:")
+
+
+# ---------------------------------------------------------------------------
+# Compiled execution: byte-identity, plan tier, stats
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fn", [_scale_item, _select_item, _branch_item,
+                                _stencil_item])
+def test_compiled_matches_interpreter_bitwise(fn):
+    n = 50  # not a multiple of the work-group: exercises the guard
+    rng = np.random.default_rng(3)
+    src = rng.random(n).astype(np.float32)
+    args = {
+        _scale_item: lambda o: (o, src, n, np.float32(1.5)),
+        _select_item: lambda o: (o, src, n, np.float32(0.5)),
+        _branch_item: lambda o: (o, src, n),
+        _stencil_item: lambda o: (o, src, n),
+    }[fn]
+    ref = np.zeros(n, dtype=np.float32)
+    run_nd_range(_spec(fn), _nd(64), args(ref), mode="item")
+    out = np.zeros(n, dtype=np.float32)
+    spec = _spec(fn)
+    run_nd_range(spec, _nd(64), args(out), mode="compiled")  # validation run
+    stats = run_nd_range(spec, _nd(64), args(out), mode="compiled")  # hot
+    assert out.tobytes() == ref.tobytes()
+    assert stats.path == "compiled"
+    plan = get_plan(spec, _nd(64), mode="compiled")
+    assert plan.path == "compiled"
+    assert plan.compiled is not None and plan.compiled.validated
+
+
+def test_plan_cache_reports_tiers():
+    run_nd_range(_spec(_scale_item, name="a"), _nd(),
+                 (np.zeros(64, np.float32), np.ones(64, np.float32), 64,
+                  np.float32(2.0)), mode="compiled")
+    run_nd_range(_spec(_loop_item, name="b"), _nd(),
+                 (np.zeros(64, np.float32), np.ones(64, np.float32), 64),
+                 mode="compiled")
+    tiers = plan_cache_info()["tiers"]
+    assert tiers.get("compiled", 0) >= 1
+    assert tiers.get("item", 0) >= 1  # the for-loop kernel's fallback plan
+
+
+# ---------------------------------------------------------------------------
+# Barrier-phase splitting
+# ---------------------------------------------------------------------------
+
+def test_barrier_generator_splits_into_phases():
+    n = 32
+    data_ref = np.arange(n, dtype=np.float32)
+    scratch_ref = np.zeros(n, dtype=np.float32)
+    run_nd_range(_spec(_barrier_item), _nd(n, 8),
+                 (data_ref, scratch_ref, n), mode="item")
+
+    spec = _spec(_barrier_item)
+    data = np.arange(n, dtype=np.float32)
+    scratch = np.zeros(n, dtype=np.float32)
+    run_nd_range(spec, _nd(n, 8), (data, scratch, n), mode="compiled")
+    assert data.tobytes() == data_ref.tobytes()
+
+    data2 = np.arange(n, dtype=np.float32)
+    scratch2 = np.zeros(n, dtype=np.float32)
+    stats = run_nd_range(spec, _nd(n, 8), (data2, scratch2, n),
+                         mode="compiled")
+    assert data2.tobytes() == data_ref.tobytes()
+    assert stats.path == "compiled"
+    # one barrier -> one phase boundary, reported in interpreter units
+    # (phases x work-groups) so profiles stay comparable across tiers
+    assert stats.barrier_phases == 1 * (n // 8)
+    assert stats.gen_advances == 2
+
+
+# ---------------------------------------------------------------------------
+# Fallback: static, runtime, and validation-mismatch demotion
+# ---------------------------------------------------------------------------
+
+def test_static_fallback_runs_interpreter_and_counts():
+    n = 64
+    src = np.ones(n, dtype=np.float32)
+    ref = np.zeros(n, dtype=np.float32)
+    run_nd_range(_spec(_loop_item), _nd(), (ref, src, n), mode="item")
+    before = _fallback_count()
+    out = np.zeros(n, dtype=np.float32)
+    spec = _spec(_loop_item)
+    stats = run_nd_range(spec, _nd(), (out, src, n), mode="compiled")
+    assert out.tobytes() == ref.tobytes()
+    assert stats.path == "item"
+    assert _fallback_count() == before + 1
+    # warm relaunches reuse the demoted plan: no re-counting
+    run_nd_range(spec, _nd(), (out, src, n), mode="compiled")
+    assert _fallback_count() == before + 1
+
+
+def test_runtime_fallback_on_unsupported_argument():
+    """A statically eligible kernel whose *arguments* the batched
+    runtime cannot represent demotes at bind time — before anything
+    executes — and the interpreter result stands."""
+    n = 64
+    src = np.ones(n, dtype=np.float32)
+    factor = [2.0]  # a list argument: bind() refuses it
+
+    def by_mode(mode):
+        out = np.zeros(n, dtype=np.float32)
+        spec = _spec(_list_factor_item)
+        stats = run_nd_range(spec, _nd(), (out, src, n, factor), mode=mode)
+        return out, stats
+
+    ref, _ = by_mode("item")
+    before = _fallback_count()
+    clear_plan_caches()
+    out, stats = by_mode("compiled")
+    assert out.tobytes() == ref.tobytes()
+    assert stats.path == "item"
+    assert _fallback_count() == before + 1
+
+
+def _list_factor_item(item, out, src, n, factor):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    out[i] = src[i] * factor[0]
+
+
+def test_validation_mismatch_demotes_with_interpreter_result():
+    """Cross-lane accumulation translates but cannot batch correctly;
+    shadow validation catches the divergence, the interpreter result is
+    what lands in the buffer, and the plan permanently demotes."""
+    n = 16
+    assert eligible_form(_spec(_accumulate_item))[0] == "item"
+    spec = _spec(_accumulate_item)
+    out = np.zeros(4, dtype=np.float32)
+    before = _fallback_count()
+    stats = run_nd_range(spec, _nd(n, 4), (out, n), mode="compiled")
+    assert out[0] == n  # interpreter semantics, not last-writer-wins
+    assert stats.path == "item"
+    assert _fallback_count() == before + 1
+    stats = run_nd_range(spec, _nd(n, 4), (out, n), mode="compiled")
+    assert out[0] == 2 * n
+    assert stats.path == "item"
+    plan = get_plan(spec, _nd(n, 4), mode="compiled")
+    assert plan.path == "item" and plan.compiled is None
+
+
+# ---------------------------------------------------------------------------
+# Process-wide disable + Queue integration
+# ---------------------------------------------------------------------------
+
+def test_vectorize_disabled_round_trip():
+    n = 64
+    src = np.linspace(0, 1, n, dtype=np.float32)
+    spec = _spec(_scale_item)
+    on = np.zeros(n, dtype=np.float32)
+    run_nd_range(spec, _nd(), (on, src, n, np.float32(3.0)), mode="compiled")
+    run_nd_range(spec, _nd(), (on, src, n, np.float32(3.0)), mode="compiled")
+    with vectorize_disabled():
+        off = np.zeros(n, dtype=np.float32)
+        run_nd_range(spec, _nd(), (off, src, n, np.float32(3.0)),
+                     mode="compiled")
+        plan = get_plan(spec, _nd(), mode="compiled")
+        assert plan.path == "item"  # disabled: plans never compile batched
+    assert on.tobytes() == off.tobytes()
+    assert compile_batched(spec, _nd())[0] is not None  # re-enabled
+
+
+def test_group_form_batches():
+    spec = KernelSpec(name="gsum", kind=KernelKind.ND_RANGE,
+                      group_fn=_group_sum)
+    src = np.arange(8, dtype=np.float32)
+    ref = np.zeros(8, dtype=np.float32)
+    run_nd_range(spec, _nd(64, 8), (ref, src, 8), mode="group")
+    out = np.zeros(8, dtype=np.float32)
+    run_nd_range(spec, _nd(64, 8), (out, src, 8), mode="compiled")
+    stats = run_nd_range(spec, _nd(64, 8), (out, src, 8), mode="compiled")
+    assert out.tobytes() == ref.tobytes()
+    assert stats.path == "compiled"
+    ck, reason = compile_batched(spec, _nd(64, 8))
+    assert reason is None and ck.form == "group"
+
+
+def test_queue_compiled_default_mode():
+    q = Queue("rtx2080", default_mode="compiled")
+    n = 64
+    src = np.full(n, 2.0, dtype=np.float32)
+    out = np.zeros(n, dtype=np.float32)
+    spec = _spec(_scale_item)
+    q.parallel_for(_nd(), spec, out, src, n, np.float32(2.0))
+    q.parallel_for(_nd(), spec, out, src, n, np.float32(2.0))
+    assert np.all(out == 5.0)
+    assert q.counters.path_counts.get("compiled", 0) >= 1

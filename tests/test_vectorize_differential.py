@@ -1,0 +1,77 @@
+"""Differential tests: the compiled tier must be invisible in results.
+
+Every benchmark configuration runs twice in ``mode="compiled"`` — once
+with the vectorizer enabled, once inside :func:`vectorize_disabled` —
+and the output buffers must be **byte-identical**, not merely close.
+The tier's design makes this hold by construction: the batched program
+is compiled from, validated against (bitwise, on buffer copies), and
+demoted to the exact interpreter form a disabled run would take.
+
+A second pass pins the suite to the golden checksum fixtures with the
+vectorizer enabled in auto mode, so the tier cannot silently shift the
+figures even through the default path selection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.altis.registry import APP_FACTORIES
+from repro.harness.runner import run_functional
+from repro.sycl import vectorize_disabled, vectorize_enabled
+from repro.sycl.plan import clear_plan_caches, plan_cache_info
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "size1_checksums.json"
+
+#: configs whose kernels were written in (or rewritten into) the
+#: batchable dialect — these must actually engage the compiled tier,
+#: so the byte-identity assertion is not vacuous
+COMPILED_CONFIGS = ("SRAD", "FDTD2D", "Where")
+
+
+def _digests(config: str, mode: str | None) -> dict:
+    result = run_functional(config, seed=0, mode=mode)
+    assert result.verified
+    return {
+        key: hashlib.sha256(
+            np.ascontiguousarray(np.asarray(value)).tobytes()).hexdigest()
+        for key, value in sorted(result.outputs.items())
+    }
+
+
+@pytest.mark.parametrize("config", sorted(APP_FACTORIES))
+def test_compiled_mode_byte_identical_on_off(config):
+    assert vectorize_enabled()
+    clear_plan_caches()
+    on = _digests(config, "compiled")
+    tiers = plan_cache_info()["tiers"]
+    with vectorize_disabled():
+        clear_plan_caches()
+        off = _digests(config, "compiled")
+    assert on == off, (
+        f"{config}: compiled-tier outputs differ from the interpreter")
+    if config in COMPILED_CONFIGS:
+        assert tiers.get("compiled", 0) > 0, (
+            f"{config}: expected at least one compiled-tier plan, "
+            f"got {tiers}")
+
+
+@pytest.mark.parametrize("config", sorted(APP_FACTORIES))
+def test_auto_mode_matches_golden_with_vectorizer(config):
+    """Auto-mode results with the vectorizer enabled must equal the
+    golden fixtures — the compiled tier may only take over a launch
+    when it is bitwise indistinguishable."""
+    assert vectorize_enabled()
+    clear_plan_caches()
+    got = _digests(config, None)
+    golden = json.loads(GOLDEN_PATH.read_text())[config]
+    assert set(got) == set(golden)
+    for key, digest in golden.items():
+        assert got[key] == digest["sha256"], (
+            f"{config}: output {key!r} drifted from the golden fixture "
+            "with the vectorizer enabled")

@@ -38,6 +38,7 @@ API_MODULES = [
     "repro.sycl.queue",
     "repro.sycl.executor",
     "repro.sycl.plan",
+    "repro.sycl.vectorize",
     "repro.harness.runner",
     "repro.harness.resultdb",
     "repro.harness.reporting",
