@@ -44,6 +44,7 @@ def _record(section: str, payload: dict) -> None:
 def _nw_wavefront(mode: str | None, scale: float = 0.02):
     """Run the full NW blocked wavefront; returns (seconds, items)."""
     from repro.altis.nw import NW, _similarity
+    from repro.sycl.buffer import LocalAccessor
     from repro.sycl import NdRange, Range
     from repro.sycl.executor import run_nd_range
 
@@ -54,6 +55,7 @@ def _nw_wavefront(mode: str | None, scale: float = 0.02):
     nb = n // block
     sim = _similarity(wl["seq_a"], wl["seq_b"], wl["blosum"]).astype(np.int32)
     kern = app.kernels()["needle_block"]
+    tile = LocalAccessor((block + 1, block + 1), np.int32)
     score = wl["score"]
     score[0, :] = -penalty * np.arange(n + 1)
     score[:, 0] = -penalty * np.arange(n + 1)
@@ -62,7 +64,7 @@ def _nw_wavefront(mode: str | None, scale: float = 0.02):
     for d in range(2 * nb - 1):
         blocks = (d + 1) if d < nb else (2 * nb - 1 - d)
         stats = run_nd_range(kern, NdRange(Range(blocks * block), Range(block)),
-                             (score, sim, penalty, d, nb, n, block),
+                             (score, sim, tile, penalty, d, nb, n, block),
                              force_item=True, mode=mode)
         items += stats.items
     elapsed = time.perf_counter() - t0

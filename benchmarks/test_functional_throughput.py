@@ -25,6 +25,7 @@ def test_barrier_executor_throughput(benchmark):
     import numpy as np
 
     from repro.altis.nw import NW, _similarity
+    from repro.sycl.buffer import LocalAccessor
     from repro.sycl import NdRange, Range
     from repro.sycl.executor import run_nd_range
 
@@ -35,6 +36,7 @@ def test_barrier_executor_throughput(benchmark):
     nb = n // block
     sim = _similarity(wl["seq_a"], wl["seq_b"], wl["blosum"]).astype(np.int32)
     kern = app.kernels()["needle_block"]
+    tile = LocalAccessor((block + 1, block + 1), np.int32)
 
     def run():
         score = np.zeros((n + 1, n + 1), dtype=np.int32)
@@ -43,7 +45,7 @@ def test_barrier_executor_throughput(benchmark):
         for d in range(2 * nb - 1):
             blocks = (d + 1) if d < nb else (2 * nb - 1 - d)
             run_nd_range(kern, NdRange(Range(blocks * block), Range(block)),
-                         (score, sim, penalty, d, nb, n, block),
+                         (score, sim, tile, penalty, d, nb, n, block),
                          force_item=True)
         return score
 

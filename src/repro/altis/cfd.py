@@ -102,36 +102,67 @@ def cfd_reference_iteration(variables: np.ndarray, neighbours: np.ndarray,
     return variables - dt * flux
 
 
-def _flux_item(item, variables, neighbours, normals, out, nel, dt):
+def _flux_item(item, variables, neighbours, normals, farfield, out, nel, dt):
+    """Per-element flux accumulation, written in the batchable dialect.
+
+    Fully componentwise scalar arithmetic (no vector temporaries), with
+    the boundary-face branches expressed as ``np.where`` selects over a
+    clamped neighbour gather — the data-dependent ``if nb == -1`` of the
+    migrated kernel is lane-divergent and would keep the kernel on the
+    interpreter.  ``farfield`` arrives as a 5-element buffer already in
+    the solver dtype so the free-stream state needs no in-kernel cast.
+    """
     i = item.get_global_linear_id()
     if i >= nel:
         return
-    var = variables[i]
-    rho, mom, energy = var[0], var[1:4], var[4]
-    flux = np.zeros(5, dtype=variables.dtype)
+    rho = variables[i, 0]
+    mx = variables[i, 1]
+    my = variables[i, 2]
+    mz = variables[i, 3]
+    e = variables[i, 4]
+    f0 = 0.0
+    f1 = 0.0
+    f2 = 0.0
+    f3 = 0.0
+    f4 = 0.0
     for f in range(NNB):
         nb = neighbours[i, f]
-        normal = normals[i, f]
-        if nb == -1:  # wall
-            rho_n, mom_n, e_n = rho, -mom, energy
-        elif nb == -2:  # far-field
-            rho_n = variables.dtype.type(_FARFIELD[0])
-            mom_n = _FARFIELD[1:4].astype(variables.dtype)
-            e_n = variables.dtype.type(_FARFIELD[4])
-        else:
-            nvar = variables[nb]
-            rho_n, mom_n, e_n = nvar[0], nvar[1:4], nvar[4]
-        for state_rho, state_mom, state_e in ((rho, mom, energy),
-                                              (rho_n, mom_n, e_n)):
-            p = (GAMMA - 1.0) * (state_e - 0.5 * (state_mom @ state_mom) / state_rho)
-            vn = (state_mom / state_rho) @ normal
-            flux[0] += 0.5 * state_rho * vn
-            flux[1:4] += 0.5 * (state_mom * vn + p * normal)
-            flux[4] += 0.5 * (state_e + p) * vn
-    out[i] = var - dt * flux
+        nbc = max(nb, 0)  # clamp boundary sentinels for the gather
+        wall = nb == -1
+        far = nb == -2
+        nx = normals[i, f, 0]
+        ny = normals[i, f, 1]
+        nz = normals[i, f, 2]
+        # own-state contribution through this face
+        p = (GAMMA - 1.0) * (e - 0.5 * (mx * mx + my * my + mz * mz) / rho)
+        vn = (mx / rho) * nx + (my / rho) * ny + (mz / rho) * nz
+        f0 = f0 + 0.5 * (rho * vn)
+        f1 = f1 + 0.5 * (mx * vn + p * nx)
+        f2 = f2 + 0.5 * (my * vn + p * ny)
+        f3 = f3 + 0.5 * (mz * vn + p * nz)
+        f4 = f4 + 0.5 * ((e + p) * vn)
+        # neighbour state: wall mirrors, far-field is free stream
+        rho_n = np.where(far, farfield[0], np.where(wall, rho, variables[nbc, 0]))
+        mnx = np.where(far, farfield[1], np.where(wall, -mx, variables[nbc, 1]))
+        mny = np.where(far, farfield[2], np.where(wall, -my, variables[nbc, 2]))
+        mnz = np.where(far, farfield[3], np.where(wall, -mz, variables[nbc, 3]))
+        e_n = np.where(far, farfield[4], np.where(wall, e, variables[nbc, 4]))
+        p_n = (GAMMA - 1.0) * (
+            e_n - 0.5 * (mnx * mnx + mny * mny + mnz * mnz) / rho_n)
+        vn_n = (mnx / rho_n) * nx + (mny / rho_n) * ny + (mnz / rho_n) * nz
+        f0 = f0 + 0.5 * (rho_n * vn_n)
+        f1 = f1 + 0.5 * (mnx * vn_n + p_n * nx)
+        f2 = f2 + 0.5 * (mny * vn_n + p_n * ny)
+        f3 = f3 + 0.5 * (mnz * vn_n + p_n * nz)
+        f4 = f4 + 0.5 * ((e_n + p_n) * vn_n)
+    out[i, 0] = rho - dt * f0
+    out[i, 1] = mx - dt * f1
+    out[i, 2] = my - dt * f2
+    out[i, 3] = mz - dt * f3
+    out[i, 4] = e - dt * f4
 
 
-def _flux_vector(nd_range, variables, neighbours, normals, out, nel, dt):
+def _flux_vector(nd_range, variables, neighbours, normals, farfield, out, nel, dt):
     out[:nel] = cfd_reference_iteration(variables[:nel], neighbours[:nel],
                                         normals[:nel], dt)
 
@@ -225,9 +256,10 @@ class Cfd(AltisApp):
         gn = -(-nel // wg) * wg
         nd = NdRange(Range(gn), Range(wg))
         prof = self._profile(nel)
+        farfield = _FARFIELD.astype(var.dtype)
         for _ in range(iters):
             queue.parallel_for(nd, kern, var, workload["neighbours"],
-                               workload["normals"], out, nel, dt,
+                               workload["normals"], farfield, out, nel, dt,
                                profile=prof)
             var, out = out.copy(), var
         return {"variables": var}

@@ -72,19 +72,22 @@ def kmeans_reference(points: np.ndarray, centers0: np.ndarray,
 # -- ND-range kernels ---------------------------------------------------------
 
 def _map_centers_item(item, points, centers, assign, n, k, d):
+    # Batchable dialect: the k x d sweep is a static-trip-count loop
+    # (unrolled by the compiled tier), and the running best is tracked
+    # with np.where instead of a lane-divergent conditional rebind.
     i = item.get_global_linear_id()
     if i >= n:
         return
     best = 0
-    best_dist = np.float64(np.inf)
+    best_dist = np.inf
     for c in range(k):
         dist = 0.0
         for j in range(d):
             delta = float(points[i, j]) - float(centers[c, j])
             dist += delta * delta
-        if dist < best_dist:
-            best_dist = dist
-            best = c
+        closer = dist < best_dist
+        best = np.where(closer, c, best)
+        best_dist = np.where(closer, dist, best_dist)
     assign[i] = best
 
 

@@ -82,24 +82,58 @@ def lavamd_reference(rv: np.ndarray, qv: np.ndarray, nb: int
 def _kernel_item(item, rv, qv, v, f, nb, par):
     """Per work-item: one particle of one box; neighbours staged in
     local memory by the group (modeled here by reading them directly —
-    the staging barrier is kept for fidelity)."""
+    the staging barrier is kept for fidelity).
+
+    Batchable-dialect form: the 27-box neighbourhood is a static loop
+    over offset codes with grid-edge boxes masked out via ``np.where``
+    (a data-dependent neighbour list would pin the kernel to the
+    interpreter), and over-provisioned lanes (work-group 128 vs 100
+    particles) compute through a clamped particle index and simply skip
+    the final store instead of returning before the barrier completes.
+    """
     b = item.get_group(0)
     t = item.get_local_id(0)
     yield item.barrier(FenceSpace.LOCAL)  # neighbour staging barrier
-    if t >= par:
-        return
-    bz, rem = divmod(b, nb * nb)
-    by, bx = divmod(rem, nb)
+    tc = min(t, par - 1)
+    bz = b // (nb * nb)
+    rem = b % (nb * nb)
+    by = rem // nb
+    bx = rem % nb
+    px = rv[b, tc, 0]
+    py = rv[b, tc, 1]
+    pz = rv[b, tc, 2]
     acc_v = np.float32(0.0)
-    acc_f = np.zeros(3, dtype=np.float32)
-    for j in _neighbour_boxes(bx, by, bz, nb):
-        d = rv[j] - rv[b, t]
-        u = ALPHA * np.einsum("ij,ij->i", d, d)
-        w = np.exp(-u).astype(np.float32)
-        acc_v += np.float32((w * qv[j]).sum())
-        acc_f += np.einsum("i,ij->j", (w * qv[j]).astype(np.float32), d.astype(np.float32))
-    v[b, t] = acc_v
-    f[b, t] = acc_f
+    acc_fx = np.float32(0.0)
+    acc_fy = np.float32(0.0)
+    acc_fz = np.float32(0.0)
+    for off in range(27):
+        dxo = off % 3 - 1
+        dyo = (off // 3) % 3 - 1
+        dzo = off // 9 - 1
+        x = bx + dxo
+        y = by + dyo
+        z = bz + dzo
+        inx = np.logical_and(0 <= x, x < nb)
+        iny = np.logical_and(0 <= y, y < nb)
+        inz = np.logical_and(0 <= z, z < nb)
+        valid = np.logical_and(np.logical_and(inx, iny), inz)
+        j = np.where(valid, (z * nb + y) * nb + x, 0)
+        for k in range(par):
+            dx = rv[j, k, 0] - px
+            dy = rv[j, k, 1] - py
+            dz = rv[j, k, 2] - pz
+            u = ALPHA * (dx * dx + dy * dy + dz * dz)
+            w = np.exp(-u)
+            wq = np.where(valid, w * qv[j, k], np.float32(0.0))
+            acc_v = acc_v + wq
+            acc_fx = acc_fx + wq * dx
+            acc_fy = acc_fy + wq * dy
+            acc_fz = acc_fz + wq * dz
+    if t < par:
+        v[b, t] = acc_v
+        f[b, t, 0] = acc_fx
+        f[b, t, 1] = acc_fy
+        f[b, t, 2] = acc_fz
 
 
 def _kernel_vector(nd_range, rv, qv, v, f, nb, par):

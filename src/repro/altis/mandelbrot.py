@@ -69,24 +69,41 @@ def mandelbrot_reference(width: int, height: int, max_iters: int = MAX_ITERS) ->
 
 
 def _kernel_item(item, out, width, height, max_iters):
-    """ND-range SYCL kernel, one pixel per work-item."""
+    """ND-range SYCL kernel, one pixel per work-item.
+
+    The escape loop is written as masked early-exit accumulation (the
+    exact structure of :func:`mandelbrot_reference`): ``alive`` freezes
+    ``z`` and the count once the orbit escapes, instead of ``break`` —
+    the batchable-dialect form of a data-dependent loop exit, and
+    bit-identical to the classic break form because a frozen ``z``
+    keeps ``escaped`` true for every later iteration.
+    """
     gy = item.get_global_id(0)
     gx = item.get_global_id(1)
     if gx >= width or gy >= height:
         return
-    # float32 arithmetic throughout, matching the device kernels
+    # float32 arithmetic throughout, matching the device kernels; the
+    # clamp keeps over-provisioned lanes (width rounded up to the
+    # work-group size) in bounds of the coordinate table — it never
+    # changes gx for lanes that survive the guard above
     x0, x1, y0, y1 = _VIEW
-    f32 = np.float32
-    cx = np.linspace(x0, x1, width, dtype=np.float32)[gx]
+    gxc = np.minimum(gx, width - 1)
+    cx = np.linspace(x0, x1, width, dtype=np.float32)[gxc]
     cy = np.linspace(y0, y1, height, dtype=np.float32)[gy]
-    zx = zy = f32(0.0)
-    two = f32(2.0)
+    zx = np.float32(0.0)
+    zy = np.float32(0.0)
+    two = np.float32(2.0)
+    four = np.float32(4.0)
     count = 0
+    alive = True
     for _ in range(max_iters):
-        zx, zy = zx * zx - zy * zy + cx, two * zx * zy + cy
-        if zx * zx + zy * zy > f32(4.0):
-            break
-        count += 1
+        nzx = zx * zx - zy * zy + cx
+        nzy = two * zx * zy + cy
+        zx = np.where(alive, nzx, zx)
+        zy = np.where(alive, nzy, zy)
+        escaped = zx * zx + zy * zy > four
+        alive = np.logical_and(alive, np.logical_not(escaped))
+        count = count + np.where(alive, 1, 0)
     out[gy, gx] = count
 
 

@@ -70,12 +70,20 @@ def nw_reference(seq_a: np.ndarray, seq_b: np.ndarray, blosum: np.ndarray,
 
 # -- kernels ----------------------------------------------------------------
 
-def _block_item(item, score, sim, penalty, diag_idx, nb, n, block):
+def _block_item(item, score, sim, tile, penalty, diag_idx, nb, n, block):
     """One work-group computes one tile of the current block diagonal.
 
     Work-group shape: ``block`` work-items; tile anti-diagonals are
     separated by local barriers (the migrated kernel's __syncthreads).
-    The tile is staged in a local array including its halo row/column.
+    The tile — halo row/column included — is a ``LocalAccessor``
+    argument, which the compiled tier represents as a per-group
+    ``(groups, block+1, block+1)`` shadow array: this kernel is the
+    local-memory-lanes exemplar of the batchable dialect.  Off-diagonal
+    work-items compute through a clamped column index and only the
+    in-range lanes store — the interpreter and the batched program run
+    the identical arithmetic, so the launch stays bitwise reproducible
+    (unwritten tile cells read as the zeros both representations start
+    from).
     """
     g = item.get_group(0)
     tx = item.get_local_id(0)
@@ -84,44 +92,42 @@ def _block_item(item, score, sim, penalty, diag_idx, nb, n, block):
     bj = diag_idx - bi
     base_i = bi * block
     base_j = bj * block
-    tile = item.group._local_mem.get("tile")
-    if tile is None:
-        tile = item.group._local_mem["tile"] = np.zeros(
-            (block + 1, block + 1), dtype=np.int32)
     # stage halo + interior column-wise by this thread
     tile[0, tx + 1] = score[base_i, base_j + tx + 1]
     tile[tx + 1, 0] = score[base_i + tx + 1, base_j]
     if tx == 0:
         tile[0, 0] = score[base_i, base_j]
     yield item.barrier(FenceSpace.LOCAL)
-    # tile wavefront: 2*block-1 internal diagonals
+    # tile wavefront: 2*block-1 internal diagonals; a work-item is on
+    # the current diagonal when 0 <= d - tx < block
     for d in range(2 * block - 1):
-        li = tx
         lj = d - tx
+        ljc = np.clip(lj, 0, block - 1)
+        s = sim[base_i + tx, base_j + ljc]
+        val = max(
+            tile[tx, ljc] + s,
+            tile[tx, ljc + 1] - penalty,
+            tile[tx + 1, ljc] - penalty,
+        )
         if 0 <= lj < block:
-            s = sim[base_i + li, base_j + lj]
-            val = max(
-                tile[li, lj] + s,
-                tile[li, lj + 1] - penalty,
-                tile[li + 1, lj] - penalty,
-            )
-            tile[li + 1, lj + 1] = val
+            tile[tx + 1, ljc + 1] = val
         yield item.barrier(FenceSpace.LOCAL)
     # write back this thread's row
     for lj in range(block):
         score[base_i + tx + 1, base_j + lj + 1] = tile[tx + 1, lj + 1]
 
 
-def _block_group(group, score, sim, penalty, diag_idx, nb, n, block):
+def _block_group(group, score, sim, tile_acc, penalty, diag_idx, nb, n, block):
     """Work-group-batched tile processing: one call computes one tile.
 
     Phase structure matches :func:`_block_item` exactly — one staging
     barrier plus one barrier per tile anti-diagonal — but the whole
-    group advances as a single generator.  The tile is staged out of the
-    score matrix once and the wavefront runs on native ints (an NW tile
-    diagonal is at most ``block`` cells, far below the length where
-    numpy's per-call overhead amortizes), then written back as one
-    block assignment.
+    group advances as a single generator.  The group form keeps its own
+    list-based tile in ``group._local_mem`` (``tile_acc`` is the item
+    form's LocalAccessor, unused here): an NW tile diagonal is at most
+    ``block`` cells, far below the length where numpy's per-call
+    overhead amortizes, so the wavefront runs on native ints and is
+    written back as one block assignment.
     """
     g = group.get_group_id(0)
     bi = (min(diag_idx, nb - 1) - g) if diag_idx < nb else (nb - 1 - g)
@@ -157,7 +163,7 @@ def _block_group(group, score, sim, penalty, diag_idx, nb, n, block):
     ]
 
 
-def _block_vector(nd_range, score, sim, penalty, diag_idx, nb, n, block):
+def _block_vector(nd_range, score, sim, tile_acc, penalty, diag_idx, nb, n, block):
     """Vectorized tile processing for every block on the diagonal."""
     groups = nd_range.group_range()[0]
     for g in range(groups):
@@ -258,6 +264,7 @@ class NW(AltisApp):
         ks = self.kernels(variant)
         kern = ks["needle_block"]
         prof = self._profile(n, block)
+        tile = LocalAccessor((block + 1, block + 1), np.int32)
         for diag_idx in range(2 * nb - 1):
             blocks = (diag_idx + 1) if diag_idx < nb else (2 * nb - 1 - diag_idx)
             nd = NdRange(Range(blocks * block), Range(block))
@@ -267,7 +274,7 @@ class NW(AltisApp):
                 launch_kernel = kern.with_attributes(
                     reqd_work_group_size=(1, 1, block),
                     max_work_group_size=(1, 1, block))
-            queue.parallel_for(nd, launch_kernel, score, sim, penalty,
+            queue.parallel_for(nd, launch_kernel, score, sim, tile, penalty,
                                diag_idx, nb, n, block, profile=prof)
         return {"score": score}
 

@@ -101,6 +101,7 @@ def bench_nw_wavefront(*, n: int = 32, block: int = 4, seed: int = 7,
     from ..altis.nw import ALPHABET, _similarity, nw_reference
     from ..altis.nw import NW
     from ..sycl import NdRange, Range
+    from ..sycl.buffer import LocalAccessor
     from ..sycl.executor import run_nd_range
     from ..sycl.ndrange import Group
     from ..sycl.plan import clear_plan_caches, plan_cache_info
@@ -119,6 +120,7 @@ def bench_nw_wavefront(*, n: int = 32, block: int = 4, seed: int = 7,
     expected = nw_reference(seq_a, seq_b, blosum, penalty)
     kern = NW().kernels()["needle_block"]
     group_fn = kern.group_fn
+    tile = LocalAccessor((block + 1, block + 1), np.int32)
 
     base = np.zeros((n + 1, n + 1), dtype=np.int32)
     base[0, :] = -penalty * np.arange(n + 1)
@@ -130,7 +132,7 @@ def bench_nw_wavefront(*, n: int = 32, block: int = 4, seed: int = 7,
         for d in range(launches):
             blocks = (d + 1) if d < nb else (2 * nb - 1 - d)
             run_nd_range(kern, NdRange(Range(blocks * block), Range(block)),
-                         (score, sim, penalty, d, nb, n, block),
+                         (score, sim, tile, penalty, d, nb, n, block),
                          force_item=True, use_plan=use_plan)
         return time.perf_counter() - t0, score
 
@@ -149,7 +151,8 @@ def bench_nw_wavefront(*, n: int = 32, block: int = 4, seed: int = 7,
         t0 = time.perf_counter()
         for d in range(launches):
             for g in pooled[d]:
-                for _ in group_fn(g, score, sim, penalty, d, nb, n, block):
+                for _ in group_fn(g, score, sim, tile, penalty, d, nb, n,
+                                  block):
                     pass
         return time.perf_counter() - t0, score
 
@@ -285,7 +288,14 @@ def bench_executor_tiers(*, scale: float = 0.016, iterations: int = 8,
     landed (:func:`plan_cache_info`'s ``tiers``) plus how many kernels
     fell back (``vectorize.fallback``) during an NW run in compiled
     mode — NW's blocked wavefront kernel is barrier- and
-    local-tile-shaped, the documented static-fallback case.
+    local-tile-shaped, and since the dialect gained local-memory lanes
+    it promotes, so the probe documents **zero** fallbacks.
+
+    A second pass times the dialect-widening holdout apps end to end
+    (``run_sycl`` under ``default_mode="item"`` vs ``"compiled"``),
+    byte-compares their outputs, and records per-app speedups under
+    ``apps`` — the perf gate for the static-loop/local-tile/builtin
+    widenings (NW, KMeans, Mandelbrot, CFD, LavaMD).
     """
     from ..altis.srad import Srad
     from ..sycl import NdRange, Range
@@ -340,13 +350,47 @@ def bench_executor_tiers(*, scale: float = 0.016, iterations: int = 8,
         raise ReproError(
             "tier bench: group image diverged from the per-item interpreter")
 
-    # NW in compiled mode: the wavefront kernel statically falls back
-    # (barrier generator with local tiles); the counter must say so.
+    # NW in compiled mode: the wavefront kernel's LocalAccessor tile is
+    # now part of the batchable dialect, so the fallback counter must
+    # stay flat across a full compiled-mode run.
     fallback = registry.counter("vectorize.fallback")
     before = fallback.value
     from .runner import run_functional
     run_functional("NW", seed=seed, mode="compiled")
     nw_fallbacks = fallback.value - before
+
+    # Holdout apps end to end: per-item interpreter vs compiled tier.
+    from ..altis.registry import make_app
+    from ..sycl.queue import Queue
+
+    apps = {}
+    for config, app_scale in (("Mandelbrot", 0.005), ("KMeans", 0.01),
+                              ("NW", 0.02), ("CFD FP32", 0.002),
+                              ("LavaMD", 0.3)):
+        app = make_app(config)
+
+        def once(mode, app=app, app_scale=app_scale):
+            q = Queue("rtx2080", default_mode=mode)
+            wl = app.generate(1, seed=seed, scale=app_scale)
+            t0 = time.perf_counter()
+            outputs = app.run_sycl(q, wl)
+            return time.perf_counter() - t0, outputs
+
+        once("compiled")  # compile + shadow-validate the plans
+        app_item_s, out_item = _best(lambda: once("item"), best_of)
+        app_comp_s, out_comp = _best(lambda: once("compiled"), best_of)
+        for key in out_item:
+            if (np.asarray(out_item[key]).tobytes()
+                    != np.asarray(out_comp[key]).tobytes()):
+                raise ReproError(
+                    f"tier bench: {config} compiled output {key!r} diverged "
+                    "from the per-item interpreter")
+        apps[config] = {
+            "scale": app_scale,
+            "item_s": round(app_item_s, 6),
+            "compiled_s": round(app_comp_s, 6),
+            "compiled_vs_item": round(app_item_s / app_comp_s, 2),
+        }
 
     return {
         "workload": (f"SRAD tiers, {rows}x{cols}, {iterations} iterations "
@@ -361,6 +405,7 @@ def bench_executor_tiers(*, scale: float = 0.016, iterations: int = 8,
         "byte_identical": True,
         "tiers": dict(sorted(tiers.items())),
         "nw_compiled_fallbacks": nw_fallbacks,
+        "apps": apps,
     }
 
 
@@ -489,9 +534,12 @@ def render_bench(record: dict) -> str:
     ]
     tiers = record.get("executor_tiers")
     if tiers is not None:
-        tier_counts = ", ".join(f"{k}={v}" for k, v in
-                                sorted(tiers["tiers"].items()))
-        lines[-1:-1] = [
+        # tier entries are {"count", "fallbacks"} dicts (bare counts in
+        # records older than the dialect widening)
+        tier_counts = ", ".join(
+            f"{k}={v['count'] if isinstance(v, dict) else v}"
+            for k, v in sorted(tiers["tiers"].items()))
+        extra = [
             f"executor tiers : compiled {tiers['compiled_s']*1e3:.2f} ms vs "
             f"item {tiers['item_s']*1e3:.2f} ms vs "
             f"group {tiers['group_s']*1e3:.2f} ms",
@@ -501,4 +549,11 @@ def render_bench(record: dict) -> str:
             f"  plan tiers      : {tier_counts}; NW compiled-mode fallbacks "
             f"{tiers['nw_compiled_fallbacks']}",
         ]
+        apps = tiers.get("apps") or {}
+        if apps:
+            extra.append(
+                "  app speedups    : " + ", ".join(
+                    f"{k} {v['compiled_vs_item']:.2f}x"
+                    for k, v in sorted(apps.items())))
+        lines[-1:-1] = extra
     return "\n".join(lines)

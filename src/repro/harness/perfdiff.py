@@ -68,6 +68,18 @@ DEFAULT_TOLERANCES: tuple = (
     Watched(("executor_tiers", "compiled_s")),
     Watched(("executor_tiers", "compiled_vs_item"),
             higher_is_better=True, tolerance=2.0),
+    # per-app compiled-tier speedups for the dialect-widening holdouts;
+    # records predating the widening simply lack these paths
+    Watched(("executor_tiers", "apps", "NW", "compiled_vs_item"),
+            higher_is_better=True, tolerance=2.0),
+    Watched(("executor_tiers", "apps", "KMeans", "compiled_vs_item"),
+            higher_is_better=True, tolerance=2.0),
+    Watched(("executor_tiers", "apps", "Mandelbrot", "compiled_vs_item"),
+            higher_is_better=True, tolerance=2.0),
+    Watched(("executor_tiers", "apps", "CFD FP32", "compiled_vs_item"),
+            higher_is_better=True, tolerance=2.0),
+    Watched(("executor_tiers", "apps", "LavaMD", "compiled_vs_item"),
+            higher_is_better=True, tolerance=2.0),
     Watched(("figure_sweep", "warm_s")),
     Watched(("figure_sweep", "speedup_warm_over_cold"),
             higher_is_better=True, tolerance=2.0),

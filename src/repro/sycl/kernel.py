@@ -153,6 +153,13 @@ class KernelSpec:
         into a batched numpy program, else ``(None, reason)`` with the
         construct that blocked it.  Declare a ``no_vectorize`` feature
         to opt a kernel out of the tier entirely.
+
+        The batchable dialect covers guard returns, conditionals,
+        ``for <name> in range(...)`` loops with launch-invariant trip
+        counts (barriers legal inside), ``LocalAccessor`` tiles across
+        barrier phases, and the scalar builtins ``abs``/``min``/``max``/
+        ``float`` plus ``math.*`` with numpy lowerings — see the
+        "Batchable dialect" table in ``docs/performance.md``.
         """
         from .vectorize import eligible_form  # lazy: avoids an import cycle
 

@@ -79,6 +79,7 @@ from .ndrange import Group, NdItem, NdRange
 from .vectorize import (
     VectorizeFallback,
     compile_batched,
+    eligible_form,
     note_fallback as _note_vectorize_fallback,
     vectorize_enabled,
 )
@@ -138,7 +139,11 @@ def plan_cache_info() -> dict:
     with _LOCK:
         tiers: dict = {}
         for plan in _CACHE.values():
-            tiers[plan.path] = tiers.get(plan.path, 0) + 1
+            entry = tiers.setdefault(plan.path,
+                                     {"count": 0, "fallbacks": {}})
+            entry["count"] += 1
+            if plan.fallback_reason is not None:
+                entry["fallbacks"][plan.kernel.name] = plan.fallback_reason
         return {
             "hits": _HITS,
             "misses": _MISSES,
@@ -147,8 +152,12 @@ def plan_cache_info() -> dict:
             "size": len(_CACHE),
             "maxsize": _MAXSIZE,
             # per-plan execution tier (compiled / vector / group / item)
-            # so tier regressions are visible without tracing; a demoted
-            # compiled plan shows up under its interpreter tier
+            # so tier regressions are visible without tracing.  Each
+            # entry carries a plan count plus, for plans that *missed*
+            # the compiled tier while it was requested, the per-kernel
+            # fallback reason (static ineligibility or the runtime
+            # demotion message) — a demoted compiled plan shows up
+            # under its interpreter tier with the reason it fell.
             "tiers": tiers,
         }
 
@@ -325,7 +334,7 @@ class LaunchPlan:
         "kernel", "nd_range", "path", "grid", "is_generator", "arity",
         "run_fn", "group_ids", "lattice", "group_size", "num_groups",
         "total_items", "local_mem_reuse", "barrier_schedule", "compiled",
-        "_tls",
+        "fallback_reason", "_tls",
     )
 
     def __init__(self, kernel: KernelSpec, nd_range: NdRange,
@@ -336,6 +345,11 @@ class LaunchPlan:
         self.nd_range = nd_range
         self.grid = grid
         self.compiled = None
+        #: why this plan is not (or no longer) on the compiled tier:
+        #: the static ineligibility reason when compiled mode was
+        #: requested, or the runtime demotion message after ``_demote``;
+        #: ``None`` for compiled plans and paths that never tried
+        self.fallback_reason = None
         if grid:
             self.path = _select_grid_path(kernel)
         else:
@@ -345,6 +359,17 @@ class LaunchPlan:
             self.compiled, _reason = compile_batched(kernel, nd_range)
             if self.compiled is None:  # defensive: eligibility raced
                 self.path = "item" if kernel.item_fn is not None else "group"
+                self.fallback_reason = _reason
+        elif not grid and _normalize_mode(mode) == "compiled":
+            # compiled mode was requested but the plan landed on an
+            # interpreter tier — record why, so plan_cache_info()'s
+            # tier map can name the miss
+            if not vectorize_enabled():
+                self.fallback_reason = "vectorizer disabled"
+            else:
+                _form, _why = eligible_form(kernel)
+                if _form is None:
+                    self.fallback_reason = _why
         # the interpreter form behind the plan: for a compiled plan this
         # is the validation reference / demotion target
         interp_path = (self.compiled.fallback_path
@@ -395,6 +420,7 @@ class LaunchPlan:
             "items": self.total_items,
             "local_mem_reuse": self.local_mem_reuse,
             "barrier_schedule": self.barrier_schedule,
+            "fallback_reason": self.fallback_reason,
         }
 
     # -- group pooling -----------------------------------------------------
@@ -560,6 +586,7 @@ class LaunchPlan:
         if ck is None:  # concurrent launch demoted first
             return
         _note_vectorize_fallback(self.kernel.name, reason, "runtime")
+        self.fallback_reason = reason
         self.path = ck.fallback_path
         self.compiled = None
 

@@ -37,12 +37,25 @@ How a kernel becomes a batched program
   ``not`` and chained comparisons become ``np.logical_*``;
 * ``yield item.barrier(...)`` statements are kept verbatim, so a
   barrier kernel compiles to a batched *generator* whose resumptions
-  are the array phases — barrier semantics survive as phase splits.
+  are the array phases — barrier semantics survive as phase splits;
+* ``for <name> in range(...)`` loops whose trip count is
+  launch-invariant (constants, kernel scalar arguments, module
+  globals, enclosing loop variables) unroll into one batched body
+  execution per iteration — a barrier yield in the body becomes one
+  array phase per iteration, matching the interpreter's schedule;
+* ``LocalAccessor`` tiles become per-group ``(groups, *tile)`` shadow
+  arrays (:class:`_BatchLocal`): every subscript is prefixed with the
+  lane's group-linear id, so work-group locality survives batching;
+* scalar builtins with an exact numpy lowering are rewritten in place:
+  ``min``/``max`` → nested ``np.minimum``/``np.maximum``, ``float`` →
+  ``np.float64``, ``abs`` stays, and ``math.*`` maps through
+  :data:`_MATH_TO_NP` (``math.sqrt`` → ``np.sqrt`` …).
 
-Anything outside this dialect — loops, scalar builtins (``min`` /
-``max`` / ``float`` …), calls into non-numpy modules, non-constant
-slices, closures, value returns — makes the kernel statically
-ineligible with a targeted reason.
+Anything still outside this dialect — ``while`` loops, data-dependent
+trip counts, ``break``/``continue``, remaining scalar builtins
+(``len``/``sum``/``divmod`` …), calls into non-numpy modules,
+non-constant slices, closures, value returns — makes the kernel
+statically ineligible with a targeted reason.
 
 Why this cannot change results
 ------------------------------
@@ -65,6 +78,7 @@ from __future__ import annotations
 import ast
 import copy as _copy
 import inspect
+import os
 import textwrap
 import threading
 import types
@@ -75,6 +89,7 @@ import numpy as np
 
 from ..trace.metrics import registry as _metrics
 from ..trace.spans import current_tracer
+from .buffer import LocalAccessor
 from .executor import _nd_lattice, _point_grid
 from .kernel import KernelKind, KernelSpec
 from .ndrange import BarrierToken, FenceSpace, NdRange
@@ -109,7 +124,11 @@ class _Ineligible(Exception):
 # Process-wide enable switch (mirrors plan.plans_disabled)
 # ---------------------------------------------------------------------------
 
-_ENABLED = True
+#: ``REPRO_VECTORIZE=0`` force-disables the compiled tier for the whole
+#: process — the CI matrix leg that keeps the interpreter reference path
+#: under first-class coverage (not only shadow-validation) uses it.
+_ENABLED = os.environ.get("REPRO_VECTORIZE", "1").strip().lower() not in (
+    "0", "false", "off", "no")
 
 
 def vectorize_enabled() -> bool:
@@ -160,9 +179,27 @@ _INDEX_METHODS = frozenset({
 })
 
 _SCALAR_BUILTINS = frozenset({
-    "float", "int", "bool", "len", "range", "round", "sum", "any", "all",
+    "int", "bool", "len", "range", "round", "sum", "any", "all",
     "sorted", "enumerate", "zip", "map", "filter", "divmod", "pow",
 })
+
+#: ``math.*`` functions with a bitwise-compatible numpy lowering.  Note
+#: the compatibility caveat: for float32 operands the interpreter
+#: computes through float64 (``math`` coerces) and the batched program
+#: directly in float32 — identical for the correctly-rounded functions
+#: (sqrt, fabs, floor, ceil, trunc, copysign) and for float64 kernels
+#: throughout, ulp-divergent otherwise.  The shadow validator demotes
+#: any kernel where the two disagree, so the mapping is safe to keep
+#: liberal.
+_MATH_TO_NP = {
+    "sqrt": "sqrt", "exp": "exp", "expm1": "expm1", "log": "log",
+    "log1p": "log1p", "log2": "log2", "log10": "log10", "fabs": "fabs",
+    "floor": "floor", "ceil": "ceil", "trunc": "trunc", "sin": "sin",
+    "cos": "cos", "tan": "tan", "asin": "arcsin", "acos": "arccos",
+    "atan": "arctan", "atan2": "arctan2", "sinh": "sinh", "cosh": "cosh",
+    "tanh": "tanh", "hypot": "hypot", "copysign": "copysign",
+    "fmod": "fmod", "pow": "power",
+}
 
 _CMP_OK = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
 
@@ -192,23 +229,29 @@ class _Rewriter:
         self.is_gen = is_generator
         self.params = params
         self.tmp_count = 0
+        #: names bound inside the body — potentially lane-shaped, so a
+        #: loop trip count may not depend on them (loop *targets* are
+        #: uniform per-iteration scalars and deliberately excluded)
+        self.assigned = set()
 
     def fail(self, reason: str):
         raise _Ineligible(reason)
 
     # -- statements --------------------------------------------------------
 
-    def block(self, stmts, *, top: bool, predicated: bool) -> list:
+    def block(self, stmts, *, top: bool, predicated: bool,
+              in_loop: bool = False) -> list:
         out = []
         for pos, s in enumerate(stmts):
-            last = top and pos == len(stmts) - 1
+            last = top and not in_loop and pos == len(stmts) - 1
             out.extend(self.stmt(s, top=top, predicated=predicated,
-                                 last=last))
+                                 last=last, in_loop=in_loop))
         if not out:
             out.append(ast.Pass())
         return out
 
-    def stmt(self, s, *, top: bool, predicated: bool, last: bool) -> list:
+    def stmt(self, s, *, top: bool, predicated: bool, last: bool,
+             in_loop: bool = False) -> list:
         if isinstance(s, ast.Pass):
             return [s]
         if isinstance(s, ast.Expr):
@@ -229,8 +272,11 @@ class _Rewriter:
         if isinstance(s, ast.AugAssign):
             return [self.aug_assign(s, predicated=predicated)]
         if isinstance(s, ast.If):
-            return self.if_stmt(s, top=top, predicated=predicated)
-        for cls, why in ((ast.For, "for loop"), (ast.While, "while loop"),
+            return self.if_stmt(s, top=top, predicated=predicated,
+                                in_loop=in_loop)
+        if isinstance(s, ast.For):
+            return self.for_stmt(s, top=top, predicated=predicated)
+        for cls, why in ((ast.While, "while loop"),
                          (ast.With, "with block"), (ast.Try, "try block"),
                          (ast.Raise, "raise"), (ast.Assert, "assert"),
                          (ast.AnnAssign, "annotated assignment"),
@@ -241,7 +287,50 @@ class _Rewriter:
                 self.fail(f"{why} is not vectorizable")
         self.fail(f"unsupported statement {type(s).__name__}")
 
-    def if_stmt(self, s: ast.If, *, top: bool, predicated: bool) -> list:
+    def for_stmt(self, s: ast.For, *, top: bool, predicated: bool) -> list:
+        """A ``for <name> in range(...)`` loop over a launch-invariant
+        trip count.
+
+        Every lane runs the same iterations (the trip count may only
+        come from constants, kernel scalar arguments, module globals, or
+        enclosing loop variables — all launch-invariant), so the loop
+        unrolls at runtime into one batched body execution per
+        iteration; a barrier yield inside the body becomes one array
+        phase *per iteration*, which is exactly the interpreter's phase
+        schedule.  ``break``/``continue`` make lanes diverge and stay
+        ineligible — data-dependent exits are rewritten as masked
+        accumulation (see the Mandelbrot escape iteration).
+        """
+        if predicated:
+            self.fail("for loop inside a conditional (lane-divergent "
+                      "trip count)")
+        if s.orelse:
+            self.fail("for/else is not vectorizable")
+        if not isinstance(s.target, ast.Name):
+            self.fail("loop target must be a plain name")
+        it = s.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range" and not it.keywords
+                and 1 <= len(it.args) <= 3):
+            self.fail("only `for <name> in range(...)` loops have a "
+                      "static trip count")
+        for arg in it.args:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and (
+                        node.id == self.index or node.id in self.assigned):
+                    self.fail(f"loop trip count depends on {node.id!r}, "
+                              "which is not launch-invariant")
+        for sub in ast.walk(s):
+            if isinstance(sub, (ast.Break, ast.Continue)):
+                self.fail("break/continue in a loop (lane-divergent exit; "
+                          "rewrite as masked accumulation)")
+        rng = ast.Call(func=it.func, args=[self.expr(a) for a in it.args],
+                       keywords=[])
+        body = self.block(s.body, top=top, predicated=False, in_loop=True)
+        return [ast.For(target=s.target, iter=rng, body=body, orelse=[])]
+
+    def if_stmt(self, s: ast.If, *, top: bool, predicated: bool,
+                in_loop: bool = False) -> list:
         guard = (len(s.body) == 1 and isinstance(s.body[0], ast.Return)
                  and s.body[0].value is None and not s.orelse)
         if guard:
@@ -301,6 +390,7 @@ class _Rewriter:
             if predicated:
                 self.fail(f"assignment to name {t.id!r} inside a "
                           "conditional (lane-divergent binding)")
+            self.assigned.add(t.id)
             return t
         if isinstance(t, ast.Subscript):
             return ast.Subscript(value=self.expr(t.value),
@@ -317,6 +407,7 @@ class _Rewriter:
             if predicated:
                 self.fail(f"augmented assignment to name {s.target.id!r} "
                           "inside a conditional")
+            self.assigned.add(s.target.id)
             target = s.target
         elif isinstance(s.target, ast.Subscript):
             target = ast.Subscript(value=self.expr(s.target.value),
@@ -428,8 +519,22 @@ class _Rewriter:
                                 args=[self.expr(a) for a in e.args],
                                 keywords=[])
             if func.id in ("min", "max"):
-                self.fail(f"builtin {func.id}() is scalar-only; use "
-                          f"np.minimum/np.maximum")
+                # min(a, b, ...) lowers to nested np.minimum/np.maximum;
+                # the one-argument (iterable) form has no array shape
+                if len(e.args) < 2:
+                    self.fail(f"builtin {func.id}() over an iterable is "
+                              "scalar-only; pass two or more operands")
+                fn = "minimum" if func.id == "min" else "maximum"
+                node = self.expr(e.args[0])
+                for a in e.args[1:]:
+                    node = _np_call(fn, [node, self.expr(a)])
+                return node
+            if func.id == "float":
+                # float(x) promotes to IEEE double exactly like the
+                # interpreter's Python float does
+                if len(e.args) != 1:
+                    self.fail("float() takes exactly one argument")
+                return _np_call("float64", [self.expr(e.args[0])])
             if func.id in _SCALAR_BUILTINS:
                 self.fail(f"builtin {func.id}() is scalar-only")
             self.fail(f"call to {func.id}() (only numpy and the index API "
@@ -462,7 +567,13 @@ class _Rewriter:
                                           value=self.expr(kw.value))
                               for kw in e.keywords])
             if modname == "math" or modname.startswith("math."):
-                self.fail("math.* is scalar-only; use the numpy equivalent")
+                np_name = _MATH_TO_NP.get(func.attr)
+                if np_name is None or func.value is not root:
+                    self.fail(f"math.{func.attr}() has no numpy lowering")
+                if e.keywords:
+                    self.fail(f"keyword arguments to math.{func.attr}()")
+                return _np_call(np_name,
+                                [self.expr(a) for a in e.args])
             self.fail(f"call into module {modname!r}")
         self.fail(f"call to {ast.unparse(func)}() is not batchable")
 
@@ -634,6 +745,37 @@ class _BatchArray:
             self._arr[key] = value[mask][-1] if lane_val else value
 
 
+class _BatchLocal:
+    """Per-group shadow of one :class:`LocalAccessor` tile.
+
+    The interpreter gives each work-group its own zeroed tile
+    (``_begin_group``); the batched program mirrors that with one
+    ``(num_groups, *tile_shape)`` shadow array and prepends every
+    lane's group-linear id to every subscript — lane ``l`` can only
+    ever see its own group's slice, so barrier-phase tile traffic
+    keeps exact work-group locality.
+    """
+
+    __slots__ = ("_batch", "_groups")
+
+    def __init__(self, acc: LocalAccessor, ctx: _LaneCtx,
+                 group_linear: np.ndarray, num_groups: int):
+        shadow = np.zeros((num_groups,) + tuple(acc.shape),
+                          dtype=acc.dtype)
+        self._batch = _BatchArray(shadow, ctx)
+        self._groups = group_linear
+
+    def _key(self, key) -> tuple:
+        comps = key if isinstance(key, tuple) else (key,)
+        return (self._groups,) + tuple(comps)
+
+    def __getitem__(self, key):
+        return self._batch[self._key(key)]
+
+    def __setitem__(self, key, value) -> None:
+        self._batch[self._key(key)] = value
+
+
 def _linear(mat: np.ndarray, extents) -> np.ndarray:
     idx = np.zeros(len(mat), dtype=np.intp)
     for d, e in enumerate(extents):
@@ -779,7 +921,8 @@ class CompiledKernel:
     """
 
     __slots__ = ("kernel_name", "form", "fn", "is_generator", "nd_range",
-                 "n", "proxy", "fallback_path", "validated")
+                 "n", "proxy", "fallback_path", "validated",
+                 "group_linear", "num_groups")
 
     def __init__(self, kernel_name: str, form: str, fn, is_generator: bool,
                  nd_range: NdRange):
@@ -792,10 +935,13 @@ class CompiledKernel:
             lanes = _item_lanes(nd_range.global_range.dims,
                                 nd_range.local_range.dims)
             self.proxy = _BatchItem(lanes, nd_range)
+            self.num_groups = int(np.prod(nd_range.group_range().dims))
         else:
             lanes = _group_lanes(nd_range.group_range().dims)
             self.proxy = _BatchGroup(lanes, nd_range)
+            self.num_groups = lanes["n"]
         self.n = lanes["n"]
+        self.group_linear = lanes["group_linear"]
         self.fallback_path = form
         self.validated = False
 
@@ -807,14 +953,19 @@ class CompiledKernel:
         """Wrap launch arguments for the batched program.
 
         Raises :class:`VectorizeFallback` — before anything executes —
-        for argument types the batched runtime cannot represent
-        (``LocalAccessor`` local tiles, arbitrary objects).
+        for argument types the batched runtime cannot represent.
+        ``LocalAccessor`` tiles get a fresh per-group shadow array
+        (:class:`_BatchLocal`) per bind, mirroring the interpreter's
+        zeroed per-group tile.
         """
         ctx = _LaneCtx(self.n)
         wrapped = []
         for a in args:
             if isinstance(a, np.ndarray):
                 wrapped.append(_BatchArray(a, ctx))
+            elif isinstance(a, LocalAccessor):
+                wrapped.append(_BatchLocal(a, ctx, self.group_linear,
+                                           self.num_groups))
             elif a is None or isinstance(a, _SCALAR_ARGS):
                 wrapped.append(a)
             else:

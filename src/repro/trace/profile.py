@@ -192,7 +192,7 @@ def build_profile(events: Iterable[Span], *, device_key: str | None = None,
                    ("count", "mean", "min", "max", "p50", "p95", "p99")}
 
     # -- plan cache + work-group pools -----------------------------------
-    from ..sycl.plan import plan_pool_stats
+    from ..sycl.plan import plan_cache_info, plan_pool_stats
 
     plan_lookups = plan_compiles + plan_hits
     plan_cache = {
@@ -201,6 +201,9 @@ def build_profile(events: Iterable[Span], *, device_key: str | None = None,
         "hit_rate": plan_hits / plan_lookups if plan_lookups else 0.0,
         "compile_wall_us": plan_compile_us,
         "pools": plan_pool_stats(),
+        # execution-tier split of the live plans, with the demotion
+        # reason for every kernel that fell off the compiled tier
+        "tiers": plan_cache_info()["tiers"],
     }
 
     # -- run identity & device context -----------------------------------
@@ -398,6 +401,14 @@ def render_profile(profile: dict, *, deterministic: bool = False) -> str:
                      f"work-groups: {pools.get('poolable_groups', 0)}, "
                      f"local_mem_reuse plans: "
                      f"{pools.get('local_mem_reuse_plans', 0)}")
+    tiers = pc.get("tiers") or {}
+    if tiers:
+        lines.append("- execution tiers: " + ", ".join(
+            f"{path}={entry['count']}" for path, entry in
+            sorted(tiers.items())))
+        for path, entry in sorted(tiers.items()):
+            for kname, reason in sorted(entry["fallbacks"].items()):
+                lines.append(f"  - `{kname}` -> {path}: {reason}")
     lines.append("")
 
     if not deterministic:

@@ -11,6 +11,7 @@ import pytest
 
 from repro.altis import Variant
 from repro.sycl import NdRange, Range
+from repro.sycl.buffer import LocalAccessor
 from repro.sycl.executor import run_nd_range
 
 
@@ -45,11 +46,12 @@ class TestNwItemPath:
         score[:, 0] = -penalty * np.arange(n + 1)
         sim = _similarity(wl["seq_a"], wl["seq_b"], wl["blosum"]).astype(np.int32)
         kern = app.kernels()["needle_block"]
+        tile = LocalAccessor((block + 1, block + 1), np.int32)
         for d in range(2 * nb - 1):
             blocks = (d + 1) if d < nb else (2 * nb - 1 - d)
             stats = run_nd_range(
                 kern, NdRange(Range(blocks * block), Range(block)),
-                (score, sim, penalty, d, nb, n, block), mode=mode)
+                (score, sim, tile, penalty, d, nb, n, block), mode=mode)
             assert stats.path == mode
             # both decomposed paths honor the same phase structure: per
             # group, one staging barrier + one per tile anti-diagonal
@@ -125,7 +127,7 @@ class TestFdtdItemPath:
 class TestCfdItemPath:
     @pytest.mark.parametrize("fp64", [False, True])
     def test_flux_kernel(self, fp64):
-        from repro.altis.cfd import Cfd
+        from repro.altis.cfd import _FARFIELD, Cfd
 
         app = Cfd(fp64=fp64)
         wl = app.generate(1, scale=0.0005)
@@ -134,12 +136,13 @@ class TestCfdItemPath:
         var = wl["variables"].copy()
         out = wl["out"]
         kern = app.kernels()["compute_flux"]
+        farfield = _FARFIELD.astype(var.dtype)
         wg = 16
         gn = -(-nel // wg) * wg
         for _ in range(p["iterations"]):
             run_nd_range(kern, NdRange(Range(gn), Range(wg)),
-                         (var, wl["neighbours"], wl["normals"], out, nel,
-                          p["dt"]), force_item=True)
+                         (var, wl["neighbours"], wl["normals"], farfield, out,
+                          nel, p["dt"]), force_item=True)
             var, out = out.copy(), var
         np.testing.assert_allclose(var, app.reference(wl)["variables"],
                                    rtol=1e-4, atol=1e-6)

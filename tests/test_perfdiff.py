@@ -41,7 +41,12 @@ def _record(**overrides) -> dict:
         "srad_group": {"warm_planned_s": 0.05, "wall_speedup": 1.2},
         "executor_tiers": {"item_s": 0.10, "group_s": 0.006,
                            "compiled_s": 0.005, "compiled_vs_item": 20.0,
-                           "compiled_vs_group": 1.2},
+                           "compiled_vs_group": 1.2,
+                           "apps": {
+                               config: {"item_s": 0.08, "compiled_s": 0.004,
+                                        "compiled_vs_item": 20.0}
+                               for config in ("NW", "KMeans", "Mandelbrot",
+                                              "CFD FP32", "LavaMD")}},
         "figure_sweep": {"warm_s": 0.4, "cold_s": 10.0,
                          "speedup_warm_over_cold": 25.0},
     }

@@ -18,6 +18,8 @@ sees real source — the translator's one hard environmental requirement.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -102,6 +104,71 @@ def _min_builtin_item(item, out, src, n):
     out[i] = min(src[i], 1.0)
 
 
+def _math_item(item, out, src, n):
+    # math.* lowers to numpy through a float() promotion, so the
+    # interpreter's Python-double arithmetic and the batched float64
+    # lanes are IEEE-identical
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    out[i] = math.sqrt(float(src[i]) + 1.0) * math.fabs(float(src[i]) - 0.5)
+
+
+def _while_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    acc = 0.0
+    k = 0
+    while k < 3:
+        acc = acc + src[i] * k
+        k = k + 1
+    out[i] = acc
+
+
+def _break_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    acc = 0.0
+    for k in range(3):
+        if k == 2:
+            break
+        acc = acc + src[i]
+    out[i] = acc
+
+
+def _lane_trip_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    acc = 0.0
+    for k in range(i):
+        acc = acc + 1.0
+    out[i] = acc
+
+
+def _len_builtin_item(item, out, src, n):
+    i = item.get_global_linear_id()
+    if i >= n:
+        return
+    out[i] = src[i] * len(src)
+
+
+def _tile_item(item, out, src, tile, n, block):
+    # LocalAccessor tile threaded through a barrier-per-iteration loop:
+    # the compiled tier shadows it as a per-group (groups, block) array
+    t = item.get_local_id(0)
+    i = item.get_global_linear_id()
+    tile[t] = src[i] * 2.0
+    yield item.barrier()
+    acc = 0.0
+    for k in range(block):
+        acc = acc + tile[k]
+        yield item.barrier()
+    out[i] = acc + tile[t]
+
+
 def _barrier_item(item, data, scratch, n):
     # phase 2 reads only within the lane's own work-group: a barrier
     # synchronizes one group, so cross-group reads would be racy in both
@@ -140,7 +207,8 @@ def _nd(n=64, wg=16):
 # ---------------------------------------------------------------------------
 
 def test_eligible_forms():
-    for fn in (_scale_item, _select_item, _branch_item, _stencil_item):
+    for fn in (_scale_item, _select_item, _branch_item, _stencil_item,
+               _loop_item, _min_builtin_item, _math_item):
         assert eligible_form(_spec(fn)) == ("item", None)
     form, reason = eligible_form(
         KernelSpec(name="g", kind=KernelKind.ND_RANGE, group_fn=_group_sum))
@@ -148,10 +216,14 @@ def test_eligible_forms():
 
 
 def test_ineligible_reasons_are_precise():
-    form, reason = eligible_form(_spec(_loop_item))
-    assert form is None and "for" in reason
-    form, reason = eligible_form(_spec(_min_builtin_item))
-    assert form is None and "np.minimum" in reason
+    form, reason = eligible_form(_spec(_while_item))
+    assert form is None and "while loop" in reason
+    form, reason = eligible_form(_spec(_break_item))
+    assert form is None and "break/continue" in reason
+    form, reason = eligible_form(_spec(_lane_trip_item))
+    assert form is None and "launch-invariant" in reason and "'i'" in reason
+    form, reason = eligible_form(_spec(_len_builtin_item))
+    assert form is None and "len()" in reason
 
 
 def test_no_vectorize_feature_opts_out():
@@ -165,7 +237,7 @@ def test_reference_form_only():
     compiled program must validate against the exact path a
     vectorize-disabled run would take."""
     spec = KernelSpec(name="both", kind=KernelKind.ND_RANGE,
-                      item_fn=_loop_item, group_fn=_group_sum)
+                      item_fn=_while_item, group_fn=_group_sum)
     form, reason = eligible_form(spec)
     assert form is None and reason.startswith("item_fn:")
 
@@ -175,7 +247,8 @@ def test_reference_form_only():
 # ---------------------------------------------------------------------------
 
 @pytest.mark.parametrize("fn", [_scale_item, _select_item, _branch_item,
-                                _stencil_item])
+                                _stencil_item, _loop_item, _min_builtin_item,
+                                _math_item])
 def test_compiled_matches_interpreter_bitwise(fn):
     n = 50  # not a multiple of the work-group: exercises the guard
     rng = np.random.default_rng(3)
@@ -185,6 +258,9 @@ def test_compiled_matches_interpreter_bitwise(fn):
         _select_item: lambda o: (o, src, n, np.float32(0.5)),
         _branch_item: lambda o: (o, src, n),
         _stencil_item: lambda o: (o, src, n),
+        _loop_item: lambda o: (o, src, n),
+        _min_builtin_item: lambda o: (o, src, n),
+        _math_item: lambda o: (o, src, n),
     }[fn]
     ref = np.zeros(n, dtype=np.float32)
     run_nd_range(_spec(fn), _nd(64), args(ref), mode="item")
@@ -203,12 +279,15 @@ def test_plan_cache_reports_tiers():
     run_nd_range(_spec(_scale_item, name="a"), _nd(),
                  (np.zeros(64, np.float32), np.ones(64, np.float32), 64,
                   np.float32(2.0)), mode="compiled")
-    run_nd_range(_spec(_loop_item, name="b"), _nd(),
+    run_nd_range(_spec(_while_item, name="b"), _nd(),
                  (np.zeros(64, np.float32), np.ones(64, np.float32), 64),
                  mode="compiled")
     tiers = plan_cache_info()["tiers"]
-    assert tiers.get("compiled", 0) >= 1
-    assert tiers.get("item", 0) >= 1  # the for-loop kernel's fallback plan
+    assert tiers["compiled"]["count"] >= 1
+    assert tiers["compiled"]["fallbacks"] == {}
+    # the while-loop kernel's fallback plan carries its demotion reason
+    assert tiers["item"]["count"] >= 1
+    assert "while loop" in tiers["item"]["fallbacks"]["b"]
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +319,32 @@ def test_barrier_generator_splits_into_phases():
     assert stats.gen_advances == 2
 
 
+def test_local_tile_with_barrier_loop():
+    """A LocalAccessor tile written and read across barrier phases —
+    including a barrier inside a static loop — batches bitwise: the
+    compiled tier shadows the tile as one per-group array and the loop
+    contributes one array phase per iteration."""
+    from repro.sycl.buffer import LocalAccessor
+
+    n, wg = 32, 8
+    rng = np.random.default_rng(7)
+    src = rng.random(n).astype(np.float32)
+    tile = LocalAccessor((wg,), np.float32)
+    spec = _spec(_tile_item)
+    assert eligible_form(spec) == ("item", None)
+
+    ref = np.zeros(n, dtype=np.float32)
+    run_nd_range(spec, _nd(n, wg), (ref, src, tile, n, wg), mode="item")
+    out = np.zeros(n, dtype=np.float32)
+    run_nd_range(spec, _nd(n, wg), (out, src, tile, n, wg), mode="compiled")
+    stats = run_nd_range(spec, _nd(n, wg), (out, src, tile, n, wg),
+                         mode="compiled")
+    assert out.tobytes() == ref.tobytes()
+    assert stats.path == "compiled"
+    # staging barrier + one per loop iteration, in interpreter units
+    assert stats.barrier_phases == (1 + wg) * (n // wg)
+
+
 # ---------------------------------------------------------------------------
 # Fallback: static, runtime, and validation-mismatch demotion
 # ---------------------------------------------------------------------------
@@ -248,10 +353,10 @@ def test_static_fallback_runs_interpreter_and_counts():
     n = 64
     src = np.ones(n, dtype=np.float32)
     ref = np.zeros(n, dtype=np.float32)
-    run_nd_range(_spec(_loop_item), _nd(), (ref, src, n), mode="item")
+    run_nd_range(_spec(_while_item), _nd(), (ref, src, n), mode="item")
     before = _fallback_count()
     out = np.zeros(n, dtype=np.float32)
-    spec = _spec(_loop_item)
+    spec = _spec(_while_item)
     stats = run_nd_range(spec, _nd(), (out, src, n), mode="compiled")
     assert out.tobytes() == ref.tobytes()
     assert stats.path == "item"

@@ -9,13 +9,27 @@ demoted to the exact interpreter form a disabled run would take.
 
 A second pass pins the suite to the golden checksum fixtures with the
 vectorizer enabled in auto mode, so the tier cannot silently shift the
-figures even through the default path selection.
+figures even through the default path selection; a third pins each
+config's tier assignment (including demotion reasons) to
+``tests/golden/tiers.json`` so a dialect regression that silently drops
+an app back to the interpreter fails loudly.
+
+The whole file also runs in CI with ``REPRO_VECTORIZE=0`` (the
+vectorizer-off matrix leg): the on/off pass then exercises the
+interpreter reference path under first-class coverage and the
+tier-engagement/pinning assertions stand down, since every plan
+deliberately reports the ``vectorizer disabled`` fallback.
+
+Regenerate the tier fixture after an *intentional* dialect change with::
+
+    PYTHONPATH=src REPRO_REGEN_GOLDEN=1 python -m pytest -q tests/test_vectorize_differential.py
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -27,11 +41,14 @@ from repro.sycl import vectorize_disabled, vectorize_enabled
 from repro.sycl.plan import clear_plan_caches, plan_cache_info
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "size1_checksums.json"
+TIERS_GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "tiers.json"
+_REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
 
 #: configs whose kernels were written in (or rewritten into) the
 #: batchable dialect — these must actually engage the compiled tier,
 #: so the byte-identity assertion is not vacuous
-COMPILED_CONFIGS = ("SRAD", "FDTD2D", "Where")
+COMPILED_CONFIGS = ("SRAD", "FDTD2D", "Where", "NW", "KMeans", "Mandelbrot",
+                    "CFD FP32", "CFD FP64", "LavaMD")
 
 
 def _digests(config: str, mode: str | None) -> dict:
@@ -46,7 +63,6 @@ def _digests(config: str, mode: str | None) -> dict:
 
 @pytest.mark.parametrize("config", sorted(APP_FACTORIES))
 def test_compiled_mode_byte_identical_on_off(config):
-    assert vectorize_enabled()
     clear_plan_caches()
     on = _digests(config, "compiled")
     tiers = plan_cache_info()["tiers"]
@@ -55,18 +71,22 @@ def test_compiled_mode_byte_identical_on_off(config):
         off = _digests(config, "compiled")
     assert on == off, (
         f"{config}: compiled-tier outputs differ from the interpreter")
-    if config in COMPILED_CONFIGS:
-        assert tiers.get("compiled", 0) > 0, (
+    if config in COMPILED_CONFIGS and vectorize_enabled():
+        compiled = tiers.get("compiled")
+        assert compiled and compiled["count"] > 0, (
             f"{config}: expected at least one compiled-tier plan, "
             f"got {tiers}")
+        assert compiled["fallbacks"] == {}, (
+            f"{config}: compiled plans must not carry demotion reasons, "
+            f"got {compiled['fallbacks']}")
 
 
 @pytest.mark.parametrize("config", sorted(APP_FACTORIES))
 def test_auto_mode_matches_golden_with_vectorizer(config):
-    """Auto-mode results with the vectorizer enabled must equal the
-    golden fixtures — the compiled tier may only take over a launch
-    when it is bitwise indistinguishable."""
-    assert vectorize_enabled()
+    """Auto-mode results must equal the golden fixtures — the compiled
+    tier may only take over a launch when it is bitwise
+    indistinguishable (and with ``REPRO_VECTORIZE=0`` this pins the
+    pure-interpreter path to the same fixtures)."""
     clear_plan_caches()
     got = _digests(config, None)
     golden = json.loads(GOLDEN_PATH.read_text())[config]
@@ -74,4 +94,36 @@ def test_auto_mode_matches_golden_with_vectorizer(config):
     for key, digest in golden.items():
         assert got[key] == digest["sha256"], (
             f"{config}: output {key!r} drifted from the golden fixture "
-            "with the vectorizer enabled")
+            "with the vectorizer "
+            f"{'enabled' if vectorize_enabled() else 'disabled'}")
+
+
+@pytest.mark.parametrize("config", sorted(APP_FACTORIES))
+def test_tier_assignment_pinned(config):
+    """Each config's ``mode="compiled"`` tier split — which plans run
+    batched, which fall back, and *why* — is pinned to
+    ``tests/golden/tiers.json``.  A dialect regression that silently
+    demotes an app (or a fallback whose reason string drifts) fails
+    with the full before/after mapping."""
+    if not vectorize_enabled():
+        pytest.skip("vectorizer disabled: every plan reports the "
+                    "'vectorizer disabled' fallback by design")
+    clear_plan_caches()
+    _digests(config, "compiled")
+    got = plan_cache_info()["tiers"]
+    golden = (json.loads(TIERS_GOLDEN_PATH.read_text())
+              if TIERS_GOLDEN_PATH.exists() else {})
+    if _REGEN:
+        golden[config] = got
+        TIERS_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        TIERS_GOLDEN_PATH.write_text(
+            json.dumps(golden, indent=1, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated golden tiers for {config}")
+    assert config in golden, (
+        f"no golden tier entry for {config!r}; run with REPRO_REGEN_GOLDEN=1")
+    want = golden[config]
+    assert got == want, (
+        f"{config}: tier assignment drifted from the golden fixture\n"
+        f"  got:  {json.dumps(got, sort_keys=True)}\n"
+        f"  want: {json.dumps(want, sort_keys=True)}\n"
+        "if intentional, regenerate with REPRO_REGEN_GOLDEN=1")
