@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import threading
 from collections import OrderedDict
 from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
                                 as_completed)
@@ -342,6 +343,9 @@ def pool_map(fn: Callable, items: Sequence | Iterable, *,
 
 _WORKLOAD_CACHE: OrderedDict[tuple, Workload] = OrderedDict()
 _WORKLOAD_CACHE_MAX = 64
+#: concurrent suite jobs (repro.service) share the memo across threads;
+#: the composite get/move_to_end/popitem sequences need a real lock
+_WORKLOAD_CACHE_LOCK = threading.Lock()
 _workload_cache_hits = 0
 _workload_cache_misses = 0
 
@@ -380,33 +384,40 @@ def generate_workload(config: str, size: int, *, seed: int = 0,
     """
     global _workload_cache_hits, _workload_cache_misses
     key = (config, size, seed, float(scale))
-    cached = _WORKLOAD_CACHE.get(key)
+    with _WORKLOAD_CACHE_LOCK:
+        cached = _WORKLOAD_CACHE.get(key)
+        if cached is not None:
+            _WORKLOAD_CACHE.move_to_end(key)
+            _workload_cache_hits += 1
+        else:
+            _workload_cache_misses += 1
     if cached is not None:
-        _WORKLOAD_CACHE.move_to_end(key)
-        _workload_cache_hits += 1
         return _copy_workload(cached)
-    _workload_cache_misses += 1
     workload = make_app(config).generate(size, seed=seed, scale=scale)
-    _WORKLOAD_CACHE[key] = _copy_workload(workload)
-    while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
-        _WORKLOAD_CACHE.popitem(last=False)
+    stored = _copy_workload(workload)
+    with _WORKLOAD_CACHE_LOCK:
+        _WORKLOAD_CACHE[key] = stored
+        while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
+            _WORKLOAD_CACHE.popitem(last=False)
     return workload
 
 
 def workload_cache_stats() -> dict:
-    return {
-        "hits": _workload_cache_hits,
-        "misses": _workload_cache_misses,
-        "size": len(_WORKLOAD_CACHE),
-        "max": _WORKLOAD_CACHE_MAX,
-    }
+    with _WORKLOAD_CACHE_LOCK:
+        return {
+            "hits": _workload_cache_hits,
+            "misses": _workload_cache_misses,
+            "size": len(_WORKLOAD_CACHE),
+            "max": _WORKLOAD_CACHE_MAX,
+        }
 
 
 def clear_workload_cache() -> None:
     global _workload_cache_hits, _workload_cache_misses
-    _WORKLOAD_CACHE.clear()
-    _workload_cache_hits = 0
-    _workload_cache_misses = 0
+    with _WORKLOAD_CACHE_LOCK:
+        _WORKLOAD_CACHE.clear()
+        _workload_cache_hits = 0
+        _workload_cache_misses = 0
 
 
 # ---------------------------------------------------------------------------
@@ -480,7 +491,8 @@ def run_functional(config: str, device_key: str = "rtx2080",
 # ---------------------------------------------------------------------------
 
 def journal_record(result: RunResult, mode: str | None = None,
-                   scale: float | None = None) -> dict:
+                   scale: float | None = None,
+                   fingerprint: str | None = None) -> dict:
     """Serialize one completed suite cell for the append-only journal.
 
     Modeled times round-trip exactly through JSON (``repr``-based float
@@ -490,6 +502,11 @@ def journal_record(result: RunResult, mode: str | None = None,
     of the source tree and the workload ``scale`` that produced it, so a
     resume can reject records written by different code or a different
     sweep geometry instead of trusting the journal verbatim.
+
+    The fingerprint is launch-invariant — one digest of the source tree
+    covers every record of a sweep — so sweep drivers compute it once
+    and pass it in; ``fingerprint=None`` falls back to computing it
+    here (convenient for single records).
     """
     digests = {}
     for name, arr in sorted((result.outputs or {}).items()):
@@ -499,7 +516,8 @@ def journal_record(result: RunResult, mode: str | None = None,
         scale = _DEFAULT_SCALES.get(result.config, 0.02)
     return {
         "status": "done",
-        "fingerprint": code_fingerprint(),
+        "fingerprint": (code_fingerprint() if fingerprint is None
+                        else fingerprint),
         "config": result.config,
         "device": result.device_key,
         "variant": result.variant.value,
@@ -530,16 +548,22 @@ def run_suite_functional(device_key: str = "rtx2080",
                          workers: int | None = None,
                          pool_mode: str = "auto",
                          mode: str | None = None,
+                         configs: Sequence[str] | None = None,
                          retry: RetryPolicy | None = None,
                          cell_timeout: float | None = None,
                          fault_plan: FaultPlan | None = None,
                          degrade: bool = False,
                          journal: SweepJournal | str | os.PathLike | None = None,
-                         resume: bool = False) -> list:
+                         resume: bool = False,
+                         progress: Callable | None = None) -> list:
     """Run every configuration once (the 'does it all work' sweep).
 
     Results are returned in suite (``_DEFAULT_SCALES``) order no matter
-    which worker finishes first.
+    which worker finishes first.  ``configs`` restricts the sweep to a
+    subset of the suite (suite order is preserved; unknown names raise
+    :class:`InvalidParameterError`) — this is what lets the sweep
+    service (:mod:`repro.service`) run narrow per-tenant jobs through
+    exactly the same engine as the full CLI sweep.
 
     Fault tolerance (all off by default — the plain sweep behaves
     exactly as before):
@@ -557,21 +581,37 @@ def run_suite_functional(device_key: str = "rtx2080",
       suite order, byte-identical to an uninterrupted run.  Records are
       only trusted when their code fingerprint and workload scale match
       the current sweep — stale or hand-edited journal entries are
-      re-executed, not merged.
+      re-executed, not merged.  The fingerprint is computed **once per
+      sweep** (it is launch-invariant) and shared by the resume filter
+      and every appended record.
+    * ``progress`` — called in the parent with each executed cell's
+      :class:`CellOutcome` as it completes (completion order), after the
+      cell is journaled; the sweep service streams these to clients.
     """
-    configs = list(_DEFAULT_SCALES)
+    if configs is None:
+        configs = list(_DEFAULT_SCALES)
+    else:
+        unknown = [c for c in configs if c not in _DEFAULT_SCALES]
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown suite config(s) {unknown!r}; "
+                f"expected a subset of {list(_DEFAULT_SCALES)}")
+        configs = [c for c in _DEFAULT_SCALES if c in set(configs)]
     if journal is not None and not isinstance(journal, SweepJournal):
         journal = SweepJournal(journal)
+    # launch-invariant: one fingerprint covers the resume filter and
+    # every record this sweep appends
+    fingerprint = code_fingerprint() if journal is not None else None
     done: dict[str, dict] = {}
     if journal is not None and resume:
-        fingerprint = code_fingerprint()
+        wanted = set(configs)
         for record in journal.load():
             if (record.get("status") == "done"
                     and record.get("fingerprint") == fingerprint
                     and record.get("device") == device_key
                     and record.get("variant") == variant.value
                     and record.get("mode") == (mode or "auto")
-                    and record.get("config") in _DEFAULT_SCALES
+                    and record.get("config") in wanted
                     and record.get("scale")
                     == _DEFAULT_SCALES[record["config"]]):
                 done[record["config"]] = record
@@ -582,15 +622,19 @@ def run_suite_functional(device_key: str = "rtx2080",
     fn = partial(run_functional, device_key=device_key, variant=variant,
                  mode=mode)
     resilient = (retry is not None or cell_timeout is not None
-                 or fault_plan is not None or degrade or journal is not None)
+                 or fault_plan is not None or degrade or journal is not None
+                 or progress is not None)
     if not resilient:
         return pool_map(fn, configs, workers=workers, mode=pool_mode)
 
     on_result = None
-    if journal is not None:
+    if journal is not None or progress is not None:
         def on_result(outcome: CellOutcome) -> None:
-            if outcome.ok:
-                journal.append(journal_record(outcome.value, mode=mode))
+            if journal is not None and outcome.ok:
+                journal.append(journal_record(outcome.value, mode=mode,
+                                              fingerprint=fingerprint))
+            if progress is not None:
+                progress(outcome)
 
     fresh = pool_map(fn, pending, workers=workers, mode=pool_mode,
                      retry=retry, cell_timeout=cell_timeout,

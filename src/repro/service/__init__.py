@@ -1,0 +1,51 @@
+"""The sweep service: the suite harness as a long-running job server.
+
+Everything the batch harness can do — resilient sweeps over the 13-config
+Altis-SYCL suite, fault injection, journal-backed crash recovery,
+profiling — promoted to a multi-tenant service:
+
+* :mod:`repro.service.jobs` — the async job queue: sweeps as jobs with
+  deterministic ids, ``queued → running → done | degraded | failed``
+  states, per-job progress events, and journal-keyed checkpoint-resume;
+* :mod:`repro.service.tenants` — per-tenant namespaces (journals,
+  artifacts, figure cache) and admission quotas;
+* :mod:`repro.service.http` — the stdlib-only HTTP API (submit, poll,
+  NDJSON event streaming, report/artifact fetch);
+* :mod:`repro.service.loadgen` — the synthetic load generator and CI
+  gate (zero dropped jobs, byte-identical golden reports).
+
+``repro serve`` and ``repro loadgen`` are the CLI entry points; the
+operator's handbook is docs/service.md.
+"""
+
+from .jobs import (STATES, TERMINAL_STATES, Job, JobQueue, JobSpec, job_id,
+                   sweep_id)
+from .loadgen import LoadgenError, run_loadgen
+from .tenants import DEFAULT_QUOTA, Tenant, TenantQuota, TenantRegistry
+
+__all__ = [
+    "STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "job_id",
+    "sweep_id",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "DEFAULT_QUOTA",
+    "LoadgenError",
+    "run_loadgen",
+    "SweepService",
+    "serve",
+]
+
+
+def __getattr__(name):
+    # http.py is imported lazily so `import repro.service` stays cheap
+    # for callers that only need JobSpec/ids (no server machinery)
+    if name in ("SweepService", "serve"):
+        from . import http as _http
+        return getattr(_http, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,363 @@
+"""Synthetic load generator for the sweep service (``repro loadgen``).
+
+Drives hundreds of concurrent HTTP clients against a service — either an
+external one (``url=...``) or a self-hosted in-process instance — and
+verifies the service's two hard promises under load:
+
+* **zero dropped jobs** — every accepted (202) submission reaches a
+  terminal state; every quota rejection is an explicit 429, never a
+  silent loss;
+* **golden-verified, byte-identical reports** — each completed job's
+  ``/report`` body must equal the report the batch ``repro suite`` path
+  produces for the same spec, byte for byte.
+
+Each client thread submits its jobs with a unique ``tag`` so the
+deterministic job ids don't collapse the fleet into one idempotent job,
+then polls to a terminal state and fetches the report.  Expected reports
+are computed once per distinct spec shape through the same
+:func:`~repro.harness.runner.run_suite_functional` engine the service
+uses.  Results (latency percentiles, per-state tallies, the service's
+metrics and tenant snapshots, and a merged Chrome trace when
+self-hosting) are written under ``out`` for CI to upload.
+
+The CI gate (see ``.github/workflows/ci.yml``, job ``service-loadtest``)
+runs ``repro loadgen --clients 500 --quick`` and fails on any dropped
+job or golden mismatch — exit code 1.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..altis.base import Variant
+from ..common.errors import InvalidParameterError
+from ..harness.reporting import render_suite_report
+from ..harness.runner import run_suite_functional
+from ..trace.export import write_chrome_trace
+from ..trace.metrics import registry as _metrics
+from ..trace.spans import tracing
+from .jobs import JobSpec
+from .tenants import TenantQuota
+
+__all__ = ["run_loadgen", "LoadgenError"]
+
+#: poll cadence while waiting for a job to reach a terminal state
+_POLL_S = 0.02
+
+
+class LoadgenError(RuntimeError):
+    """The load test violated a gate (dropped jobs or golden mismatch)."""
+
+
+def _http(method: str, url: str, payload: dict | None = None,
+          timeout: float = 30.0, attempts: int = 5) -> tuple[int, bytes]:
+    """One HTTP exchange with bounded retry on connection-level faults.
+
+    Retrying a ``POST /v1/jobs`` is safe because submissions are
+    idempotent by deterministic job id — a duplicate of an accepted
+    submission returns the same job, never a second run.
+    """
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    for attempt in range(attempts):
+        request = Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlopen(request, timeout=timeout) as response:
+                return response.status, response.read()
+        except HTTPError as exc:
+            return exc.code, exc.read()
+        except (ConnectionError, TimeoutError, URLError):
+            if attempt == attempts - 1:
+                raise
+            time.sleep(0.01 * (attempt + 1))
+
+
+class _Client(threading.Thread):
+    """One synthetic tenant client: submit, poll, fetch, verify."""
+
+    def __init__(self, index: int, base_url: str, tenant: str,
+                 specs: list, expected: dict, stats: "_Stats"):
+        super().__init__(name=f"loadgen-client-{index}", daemon=True)
+        self.index = index
+        self.base_url = base_url
+        self.tenant = tenant
+        self.specs = specs
+        self.expected = expected
+        self.stats = stats
+
+    def run(self) -> None:
+        for spec in self.specs:
+            try:
+                self._one_job(spec)
+            except (URLError, OSError, TimeoutError) as exc:
+                self.stats.record_drop(f"client {self.index}: {exc}")
+
+    def _one_job(self, spec: JobSpec) -> None:
+        t0 = time.monotonic()
+        body = dict(spec.to_dict(), tenant=self.tenant)
+        status, raw = _http("POST", f"{self.base_url}/v1/jobs", body)
+        if status == 429:
+            self.stats.record_rejected()
+            return
+        if status != 202:
+            self.stats.record_drop(
+                f"client {self.index}: submit -> HTTP {status}: "
+                f"{raw[:200]!r}")
+            return
+        jid = json.loads(raw)["id"]
+        state = self._poll(jid)
+        latency = time.monotonic() - t0
+        if state is None:
+            self.stats.record_drop(
+                f"client {self.index}: job {jid} never reached a "
+                "terminal state")
+            return
+        if state == "failed":
+            self.stats.record_failed(latency)
+            return
+        status, report = _http(
+            "GET", f"{self.base_url}/v1/jobs/{jid}/report?tenant="
+                   f"{self.tenant}")
+        if status != 200:
+            self.stats.record_drop(
+                f"client {self.index}: report for {jid} -> HTTP {status}")
+            return
+        want = self.expected[_spec_shape(spec)]
+        if report.decode() != want:
+            self.stats.record_mismatch(
+                f"client {self.index}: job {jid} report diverged from "
+                "the batch suite path")
+            return
+        self.stats.record_ok(state, latency)
+
+    def _poll(self, jid: str, timeout: float = 120.0) -> str | None:
+        deadline = time.monotonic() + timeout
+        url = f"{self.base_url}/v1/jobs/{jid}?tenant={self.tenant}"
+        while time.monotonic() < deadline:
+            status, raw = _http("GET", url)
+            if status == 200:
+                doc = json.loads(raw)
+                if doc["state"] in ("done", "degraded", "failed"):
+                    return doc["state"]
+            time.sleep(_POLL_S)
+        return None
+
+
+class _Stats:
+    """Thread-safe tally of client outcomes."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.degraded = 0
+        self.failed = 0
+        self.rejected = 0
+        self.dropped: list[str] = []
+        self.mismatches: list[str] = []
+        self.latencies: list[float] = []
+
+    def record_ok(self, state: str, latency: float) -> None:
+        with self.lock:
+            self.submitted += 1
+            self.latencies.append(latency)
+            if state == "degraded":
+                self.degraded += 1
+            else:
+                self.completed += 1
+
+    def record_failed(self, latency: float) -> None:
+        with self.lock:
+            self.submitted += 1
+            self.failed += 1
+            self.latencies.append(latency)
+
+    def record_rejected(self) -> None:
+        with self.lock:
+            self.rejected += 1
+
+    def record_drop(self, detail: str) -> None:
+        with self.lock:
+            self.submitted += 1
+            self.dropped.append(detail)
+
+    def record_mismatch(self, detail: str) -> None:
+        with self.lock:
+            self.submitted += 1
+            self.mismatches.append(detail)
+
+    def _percentile(self, q: float) -> float | None:
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return round(ordered[index], 6)
+
+    def summary(self) -> dict:
+        with self.lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "degraded": self.degraded,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "dropped": len(self.dropped),
+                "dropped_detail": self.dropped[:20],
+                "golden_mismatches": len(self.mismatches),
+                "mismatch_detail": self.mismatches[:20],
+                "latency_s": {
+                    "p50": self._percentile(0.50),
+                    "p95": self._percentile(0.95),
+                    "p99": self._percentile(0.99),
+                },
+            }
+
+
+def _spec_shape(spec: JobSpec) -> tuple:
+    """The fields that determine a spec's report (tag excluded — tags
+    namespace identity, not results)."""
+    return (spec.device, spec.variant, spec.mode, spec.resolved_configs())
+
+
+def _expected_reports(specs: list) -> dict:
+    """Golden reports, one batch-engine run per distinct spec shape."""
+    expected = {}
+    for spec in specs:
+        shape = _spec_shape(spec)
+        if shape in expected:
+            continue
+        results = run_suite_functional(
+            spec.device, Variant(spec.variant), mode=spec.mode,
+            configs=spec.resolved_configs())
+        expected[shape] = render_suite_report(results) + "\n"
+    return expected
+
+
+def run_loadgen(url: str | None = None, *, clients: int = 50,
+                jobs_per_client: int = 1, tenants: int = 2,
+                configs: tuple = ("Where",), inject_faults: str | None = None,
+                retries: int = 2, quick: bool = False,
+                service_workers: int = 8, out: str | Path | None = None,
+                quiet: bool = False) -> dict:
+    """Run the synthetic load test; returns the summary document.
+
+    ``url=None`` self-hosts an in-process :class:`SweepService` (with
+    tracing installed, so the merged Chrome trace lands in ``out``);
+    ``quick=True`` shrinks every job to the 1-cell ``Where`` sweep so a
+    500-client run finishes in CI time.  Raises :class:`LoadgenError` if
+    any job is dropped or any report diverges from the batch path.
+    """
+    if clients < 1 or jobs_per_client < 1 or tenants < 1:
+        raise InvalidParameterError(
+            "clients, jobs_per_client, and tenants must all be >= 1")
+    if quick:
+        configs = ("Where",)
+
+    tenant_names = [f"load-{i}" for i in range(tenants)]
+    # each client gets a unique tag per job: distinct deterministic ids,
+    # so the fleet doesn't collapse into one idempotent submission
+    plans = []
+    for c in range(clients):
+        specs = [JobSpec(configs=tuple(configs), retries=retries,
+                         inject_faults=inject_faults, fault_seed=c,
+                         tag=f"c{c}-j{j}")
+                 for j in range(jobs_per_client)]
+        plans.append((tenant_names[c % tenants], specs))
+    expected = _expected_reports([s for _, specs in plans for s in specs])
+
+    out_dir = Path(out) if out is not None else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    stats = _Stats()
+    started = time.monotonic()
+    if url is None:
+        from .http import SweepService  # self-hosted mode
+
+        if out_dir is not None:
+            root = out_dir / "service_root"
+        else:
+            import tempfile
+            root = Path(tempfile.mkdtemp(prefix="repro-loadgen-"))
+        # budget quotas for the whole fleet: loadgen tests throughput,
+        # not admission control, so nothing should bounce off a quota
+        quota = TenantQuota(
+            max_active_jobs=max(8, clients * jobs_per_client),
+            max_total_cells=max(100_000,
+                                clients * jobs_per_client * len(configs) * 2))
+        with tracing(pid="sweep-service") as tracer:
+            service = SweepService(root, workers=service_workers,
+                                   default_quota=quota)
+            base_url = service.start()
+            try:
+                _drive(plans, base_url, expected, stats)
+            finally:
+                service.shutdown(drain=True)
+            if out_dir is not None:
+                write_chrome_trace(out_dir / "trace.json", tracer.events(),
+                                   metrics=_metrics.snapshot())
+            tenants_snapshot = service.tenants.snapshot()
+    else:
+        _drive(plans, url, expected, stats)
+        status, raw = _http("GET", f"{url}/v1/tenants")
+        tenants_snapshot = json.loads(raw) if status == 200 else {}
+
+    summary = stats.summary()
+    summary["clients"] = clients
+    summary["jobs_per_client"] = jobs_per_client
+    summary["tenants"] = tenants
+    summary["configs"] = list(configs)
+    summary["wall_s"] = round(time.monotonic() - started, 3)
+    if out_dir is not None:
+        (out_dir / "loadgen.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        (out_dir / "metrics.json").write_text(
+            json.dumps(_metrics.snapshot(), indent=2, sort_keys=True) + "\n")
+        (out_dir / "tenants.json").write_text(
+            json.dumps(tenants_snapshot, indent=2, sort_keys=True) + "\n")
+    if not quiet:
+        print(_render(summary))
+    if summary["dropped"] or summary["golden_mismatches"]:
+        raise LoadgenError(
+            f"load test gate violated: {summary['dropped']} dropped "
+            f"job(s), {summary['golden_mismatches']} golden mismatch(es)")
+    return summary
+
+
+def _drive(plans: list, base_url: str, expected: dict,
+           stats: _Stats) -> None:
+    threads = [
+        _Client(i, base_url, tenant, specs, expected, stats)
+        for i, (tenant, specs) in enumerate(plans)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def _render(summary: dict) -> str:
+    lines = [
+        "loadgen summary",
+        f"  clients x jobs : {summary['clients']} x "
+        f"{summary['jobs_per_client']} over {summary['tenants']} tenant(s)",
+        f"  submitted      : {summary['submitted']} "
+        f"(+{summary['rejected']} quota-rejected)",
+        f"  completed      : {summary['completed']} done, "
+        f"{summary['degraded']} degraded, {summary['failed']} failed",
+        f"  dropped        : {summary['dropped']}",
+        f"  golden check   : {summary['golden_mismatches']} mismatch(es)",
+        f"  latency        : p50={summary['latency_s']['p50']}s "
+        f"p95={summary['latency_s']['p95']}s "
+        f"p99={summary['latency_s']['p99']}s",
+        f"  wall time      : {summary['wall_s']}s",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Tenant namespaces and admission quotas for the sweep service.
+
+Every piece of state the service persists — sweep journals, report and
+profile artifacts, the figure cache — lives under one directory per
+tenant (``<root>/tenants/<name>/``), so tenants can never read or
+clobber each other's results and an operator can meter, back up, or
+delete one tenant without touching the rest.
+
+Admission control is deliberately simple and deterministic:
+
+* ``max_active_jobs`` — how many jobs a tenant may have queued or
+  running at once; the cap on a tenant's instantaneous load;
+* ``max_total_cells`` — a lifetime budget of sweep cells (one cell =
+  one benchmark configuration executed); the cap on a tenant's
+  cumulative compute.
+
+A submission that would exceed either limit raises
+:class:`~repro.common.errors.QuotaExceededError`, which the HTTP layer
+maps to ``429 Too Many Requests`` — the service never silently queues
+beyond a tenant's budget.  Cells are charged at admission (the
+journal-resume path re-credits nothing: a resubmitted sweep is charged
+only for the cells it still has to execute — see
+:meth:`JobQueue.submit <repro.service.jobs.JobQueue.submit>`).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..common.errors import InvalidParameterError, QuotaExceededError
+from ..harness.resultdb import FigureCache
+
+__all__ = ["TenantQuota", "Tenant", "TenantRegistry", "DEFAULT_QUOTA"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    >>> TenantQuota().max_active_jobs
+    8
+    >>> TenantQuota(max_active_jobs=1, max_total_cells=13).max_total_cells
+    13
+    """
+
+    #: jobs simultaneously queued or running
+    max_active_jobs: int = 8
+    #: lifetime budget of sweep cells admitted for execution
+    max_total_cells: int = 100_000
+
+    def __post_init__(self):
+        if self.max_active_jobs < 1:
+            raise InvalidParameterError(
+                f"max_active_jobs must be >= 1, got {self.max_active_jobs!r}")
+        if self.max_total_cells < 1:
+            raise InvalidParameterError(
+                f"max_total_cells must be >= 1, got {self.max_total_cells!r}")
+
+
+DEFAULT_QUOTA = TenantQuota()
+
+
+class Tenant:
+    """One tenant's namespace: directories, quota, and usage counters."""
+
+    def __init__(self, name: str, root: Path, quota: TenantQuota):
+        self.name = name
+        self.root = Path(root)
+        self.quota = quota
+        self.active_jobs = 0
+        self.cells_used = 0
+        self.jobs_admitted = 0
+        self.jobs_rejected = 0
+        self._lock = threading.Lock()
+        self._cache: FigureCache | None = None
+
+    # -- namespace layout -------------------------------------------------
+    @property
+    def journals_dir(self) -> Path:
+        return self.root / "journals"
+
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.root / "artifacts"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    def journal_path(self, sweep_id: str) -> Path:
+        """The tenant-scoped journal for one sweep identity."""
+        return self.journals_dir / f"{sweep_id}.journal"
+
+    def artifact_dir(self, job_id: str) -> Path:
+        return self.artifacts_dir / job_id
+
+    def figure_cache(self) -> FigureCache:
+        """The tenant's private :class:`FigureCache` (lazily created).
+
+        Figure jobs running through the service read and write here, so
+        one tenant's warm cache can never serve (or be poisoned by)
+        another tenant's entries.
+        """
+        if self._cache is None:
+            self._cache = FigureCache(root=self.cache_dir)
+        return self._cache
+
+    # -- admission --------------------------------------------------------
+    def admit(self, cells: int) -> None:
+        """Charge a submission of ``cells`` sweep cells, or raise
+        :class:`QuotaExceededError` without charging anything."""
+        with self._lock:
+            if self.active_jobs + 1 > self.quota.max_active_jobs:
+                self.jobs_rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {self.name!r} already has {self.active_jobs} "
+                    f"active job(s) (quota: {self.quota.max_active_jobs})",
+                    tenant=self.name, quota="max_active_jobs")
+            if self.cells_used + cells > self.quota.max_total_cells:
+                self.jobs_rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {self.name!r} would exceed its cell budget: "
+                    f"{self.cells_used} used + {cells} requested > "
+                    f"{self.quota.max_total_cells}",
+                    tenant=self.name, quota="max_total_cells")
+            self.active_jobs += 1
+            self.cells_used += cells
+            self.jobs_admitted += 1
+
+    def release(self) -> None:
+        """A job reached a terminal state; free its active-job slot."""
+        with self._lock:
+            self.active_jobs = max(0, self.active_jobs - 1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "active_jobs": self.active_jobs,
+                "cells_used": self.cells_used,
+                "jobs_admitted": self.jobs_admitted,
+                "jobs_rejected": self.jobs_rejected,
+                "quota": {
+                    "max_active_jobs": self.quota.max_active_jobs,
+                    "max_total_cells": self.quota.max_total_cells,
+                },
+            }
+
+
+class TenantRegistry:
+    """Get-or-create registry of tenants under one service root.
+
+    Tenants are created on first submission with ``default_quota``
+    (multi-tenancy without pre-registration); :meth:`configure` pins a
+    specific quota for a named tenant.
+    """
+
+    def __init__(self, root: str | Path, *,
+                 default_quota: TenantQuota = DEFAULT_QUOTA):
+        self.root = Path(root)
+        self.default_quota = default_quota
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> Tenant:
+        if not _NAME_RE.match(name or ""):
+            raise InvalidParameterError(
+                f"invalid tenant name {name!r}: expected 1-64 chars of "
+                "[A-Za-z0-9_.-], starting alphanumeric")
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                tenant = Tenant(name, self.root / "tenants" / name,
+                                self.default_quota)
+                self._tenants[name] = tenant
+            return tenant
+
+    def configure(self, name: str, quota: TenantQuota) -> Tenant:
+        """Pin ``quota`` for tenant ``name`` (created if needed)."""
+        tenant = self.get(name)
+        tenant.quota = quota
+        return tenant
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def snapshot(self) -> dict:
+        """Per-tenant usage snapshot (the ``/v1/tenants`` payload)."""
+        return {name: self.get(name).snapshot() for name in self.names()}

@@ -14,6 +14,8 @@ import pytest
 import repro.harness.runner
 import repro.resilience.faults
 import repro.resilience.retry
+import repro.service.jobs
+import repro.service.tenants
 import repro.sycl.plan
 import repro.sycl.queue
 
@@ -22,6 +24,8 @@ import repro.sycl.queue
     repro.harness.runner,
     repro.resilience.faults,
     repro.resilience.retry,
+    repro.service.jobs,
+    repro.service.tenants,
     repro.sycl.plan,
     repro.sycl.queue,
 ], ids=lambda m: m.__name__)

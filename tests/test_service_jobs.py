@@ -1,0 +1,240 @@
+"""The sweep service's job queue: identity, states, quotas, resume.
+
+HTTP is exercised separately (test_service_http.py); these tests drive
+:class:`repro.service.JobQueue` directly so failures localize to the
+queue/tenant layer rather than the network plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.altis.base import Variant
+from repro.common.errors import InvalidParameterError, QuotaExceededError
+from repro.harness.reporting import render_suite_report
+from repro.harness.runner import _DEFAULT_SCALES, run_suite_functional
+from repro.service import (JobQueue, JobSpec, TenantQuota, TenantRegistry,
+                           job_id, sweep_id)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return TenantRegistry(tmp_path / "svc")
+
+
+@pytest.fixture
+def queue(registry):
+    q = JobQueue(registry, workers=2)
+    yield q
+    q.kill()
+
+
+# ---------------------------------------------------------------------------
+# JobSpec + identity
+# ---------------------------------------------------------------------------
+
+def test_spec_rejects_unknown_config():
+    with pytest.raises(InvalidParameterError, match="unknown suite config"):
+        JobSpec(configs=("NoSuchBenchmark",))
+
+
+def test_spec_rejects_unknown_mode_and_bad_fault_spec():
+    with pytest.raises(InvalidParameterError, match="executor mode"):
+        JobSpec(mode="turbo")
+    with pytest.raises(Exception):
+        JobSpec(inject_faults="not-a-valid-plan-spec::::")
+
+
+def test_spec_normalizes_auto_mode_like_the_cli():
+    assert JobSpec(mode="auto").mode is None
+
+
+def test_spec_round_trips_through_dict():
+    spec = JobSpec(configs=("NW", "SRAD"), retries=3, tag="t1")
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(InvalidParameterError, match="unknown job-spec"):
+        JobSpec.from_dict({"bogus_field": 1})
+
+
+def test_spec_resolved_configs_follow_suite_order():
+    spec = JobSpec(configs=("Where", "CFD FP32"))
+    assert spec.resolved_configs() == ("CFD FP32", "Where")
+
+
+def test_job_identity_is_deterministic_and_tenant_scoped():
+    spec = JobSpec(configs=("NW",))
+    assert job_id("a", spec) == job_id("a", JobSpec(configs=("NW",)))
+    assert job_id("a", spec) != job_id("b", spec)
+    # recovery knobs change the job id but not the sweep id: a rerun
+    # with more retries must reattach to the same journal
+    bumped = JobSpec(configs=("NW",), retries=5)
+    assert job_id("a", spec) != job_id("a", bumped)
+    assert sweep_id("a", spec) == sweep_id("a", bumped)
+    assert sweep_id("a", spec) != sweep_id("a", JobSpec(configs=("NW",),
+                                                        tag="other"))
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+def test_job_runs_to_done_with_byte_identical_report(queue):
+    job = queue.submit("acme", JobSpec(configs=("Where", "NW")))
+    assert job.state in ("queued", "running", "done")
+    assert queue.drain(60)
+    assert job.state == "done"
+    assert job.cells_total == 2 and job.cells_done == 2
+    expected = run_suite_functional("rtx2080", Variant("sycl_opt"),
+                                    configs=("NW", "Where"))
+    assert job.report == render_suite_report(expected) + "\n"
+
+
+def test_submit_is_idempotent(queue):
+    spec = JobSpec(configs=("Where",))
+    first = queue.submit("acme", spec)
+    again = queue.submit("acme", JobSpec(configs=("Where",)))
+    assert again is first
+    assert queue.drain(60)
+    assert queue.submit("acme", spec) is first  # even once finished
+
+
+def test_jobs_are_tenant_scoped(queue):
+    job = queue.submit("acme", JobSpec(configs=("Where",)))
+    assert queue.get(job.id) is job
+    assert queue.get(job.id, tenant="acme") is job
+    # a foreign tenant sees the id as unknown, not forbidden
+    assert queue.get(job.id, tenant="rival") is None
+    assert queue.drain(60)
+    assert [j.id for j in queue.jobs("acme")] == [job.id]
+    assert queue.jobs("rival") == []
+
+
+def test_degraded_state_from_persistent_faults(queue):
+    # a persistent fault on one cell exhausts recovery; degrade mode
+    # records it as a FailedCell row instead of failing the job
+    job = queue.submit("acme", JobSpec(
+        configs=("NW", "Where"), retries=1,
+        inject_faults="cell:exception:1.0:persist=9:match=NW"))
+    assert queue.drain(60)
+    assert job.state == "degraded"
+    assert job.cells_failed == 1
+    assert "NW" in job.report  # FailedCell row still reported
+
+
+def test_quota_rejects_over_cell_budget(registry):
+    registry.configure("small", TenantQuota(max_total_cells=2))
+    queue = JobQueue(registry, workers=1)
+    try:
+        queue.submit("small", JobSpec(configs=("NW", "Where"), tag="a"))
+        with pytest.raises(QuotaExceededError) as exc:
+            queue.submit("small", JobSpec(configs=("SRAD",), tag="b"))
+        assert exc.value.quota == "max_total_cells"
+        assert exc.value.tenant == "small"
+        snap = registry.get("small").snapshot()
+        assert snap["jobs_admitted"] == 1 and snap["jobs_rejected"] == 1
+    finally:
+        queue.kill()
+
+
+def test_quota_rejects_over_active_jobs(registry):
+    registry.configure("busy", TenantQuota(max_active_jobs=1))
+    # a stalled queue (zero drained workers) keeps the first job active
+    queue = JobQueue(registry, workers=1)
+    queue.kill()  # workers exit; submissions still admit/charge
+    queue._killed.clear()  # keep submit bookkeeping alive
+    queue.submit("busy", JobSpec(configs=("Where",), tag="a"))
+    with pytest.raises(QuotaExceededError) as exc:
+        queue.submit("busy", JobSpec(configs=("Where",), tag="b"))
+    assert exc.value.quota == "max_active_jobs"
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: kill -> new queue over the same root -> resume
+# ---------------------------------------------------------------------------
+
+def test_killed_queue_resumes_from_journal(registry):
+    # Phase 1: a job that aborts at LavaMD; suite-ordered cells before
+    # it are journaled (CFD FP32 ... KMeans = 5 cells).
+    crash_spec = JobSpec(retries=0, on_error="abort",
+                         inject_faults="cell:exception:1.0:persist=9"
+                                       ":match=LavaMD")
+    queue1 = JobQueue(registry, workers=1)
+    job1 = queue1.submit("acme", crash_spec)
+    assert queue1.drain(120)
+    assert job1.state == "failed"
+    assert "LavaMD" in job1.error
+    queue1.kill()  # the simulated server loss
+
+    # Phase 2: a fresh queue over the same root, clean spec. Different
+    # job id (no fault plan), same sweep id -> same journal.
+    clean_spec = JobSpec()
+    assert sweep_id("acme", clean_spec) == sweep_id("acme", crash_spec)
+    queue2 = JobQueue(registry, workers=1)
+    try:
+        job2 = queue2.submit("acme", clean_spec)
+        assert job2.id != job1.id
+        assert queue2.drain(120)
+        assert job2.state == "done"
+        # only the unfinished cells re-executed; the journaled prefix
+        # was merged back in
+        executed = {e["key"] for e in job2.events() if e["type"] == "cell"}
+        suite = list(_DEFAULT_SCALES)
+        journaled = set(suite[:suite.index("LavaMD")])
+        assert executed == set(suite) - journaled
+        assert job2.cells_resumed == len(journaled)
+        # and the merged report is still byte-identical to a from-scratch run
+        expected = run_suite_functional("rtx2080", Variant("sycl_opt"))
+        assert job2.report == render_suite_report(expected) + "\n"
+    finally:
+        queue2.kill()
+
+
+def test_resume_credit_reduces_quota_charge(registry):
+    registry.configure("meter", TenantQuota(max_total_cells=3))
+    queue1 = JobQueue(registry, workers=1)
+    queue1.submit("meter", JobSpec(configs=("NW", "Where")))
+    assert queue1.drain(60)
+    queue1.kill()
+    assert registry.get("meter").cells_used == 2
+    # a successor queue resubmits a failed-ish spec variant covering the
+    # same sweep: both cells are journaled, so the charge is zero and
+    # the 3-cell budget still admits it
+    queue2 = JobQueue(registry, workers=1)
+    try:
+        job = queue2.submit("meter", JobSpec(configs=("NW", "Where"),
+                                             retries=1))
+        assert queue2.drain(60)
+        assert job.state == "done"
+        assert job.cells_resumed == 2
+        assert registry.get("meter").cells_used == 2  # nothing new charged
+    finally:
+        queue2.kill()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the sweep fingerprint is computed once per sweep
+# ---------------------------------------------------------------------------
+
+def test_code_fingerprint_computed_once_per_sweep(tmp_path, monkeypatch):
+    """journal_record() must reuse the sweep-level fingerprint instead of
+    recomputing it per appended cell (timing-insensitive: counts calls,
+    not seconds)."""
+    from repro.harness import runner
+
+    calls = []
+    real = runner.code_fingerprint
+
+    def counting_fingerprint():
+        calls.append(1)
+        return real()
+
+    monkeypatch.setattr(runner, "code_fingerprint", counting_fingerprint)
+    journal = tmp_path / "sweep.journal"
+    run_suite_functional(configs=("NW", "Where", "SRAD"), journal=journal,
+                         resume=True)
+    assert len(calls) == 1
+    # the resumed sweep also fingerprints exactly once (filter + appends)
+    calls.clear()
+    run_suite_functional(configs=("NW", "Where", "SRAD"), journal=journal,
+                         resume=True)
+    assert len(calls) == 1

@@ -1,0 +1,78 @@
+"""The synthetic load generator: gates, artifacts, and fault tolerance.
+
+CI runs the full 500-client gate (workflow job ``service-loadtest``);
+these tests keep a scaled-down version in the tier-1 suite so loadgen
+regressions surface before CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import InvalidParameterError
+from repro.service.loadgen import LoadgenError, run_loadgen
+
+
+def test_loadgen_self_hosted_zero_dropped(tmp_path):
+    summary = run_loadgen(clients=12, jobs_per_client=2, tenants=2,
+                          quick=True, out=tmp_path, quiet=True)
+    assert summary["submitted"] == 24
+    assert summary["completed"] == 24
+    assert summary["dropped"] == 0
+    assert summary["golden_mismatches"] == 0
+    assert summary["latency_s"]["p50"] is not None
+    # CI-uploadable artifacts
+    for name in ("loadgen.json", "metrics.json", "tenants.json",
+                 "trace.json"):
+        assert (tmp_path / name).exists(), name
+    on_disk = json.loads((tmp_path / "loadgen.json").read_text())
+    assert on_disk["dropped"] == 0
+    # the merged trace carries service-side spans
+    trace = json.loads((tmp_path / "trace.json").read_text())
+    assert trace["traceEvents"]
+
+
+def test_loadgen_recovers_injected_faults(tmp_path):
+    summary = run_loadgen(clients=8, jobs_per_client=1, tenants=2,
+                          quick=True, inject_faults="cell:exception:0.5",
+                          retries=3, out=tmp_path, quiet=True)
+    assert summary["dropped"] == 0
+    assert summary["golden_mismatches"] == 0
+    assert summary["completed"] == 8  # transient faults always recover
+
+
+def test_loadgen_against_external_service(tmp_path):
+    from repro.service.http import SweepService
+
+    svc = SweepService(tmp_path / "svc", workers=4)
+    url = svc.start()
+    try:
+        summary = run_loadgen(url, clients=6, quick=True, quiet=True)
+        assert summary["dropped"] == 0
+        assert summary["completed"] == 6
+    finally:
+        svc.shutdown(drain=False)
+
+
+def test_loadgen_validates_parameters():
+    with pytest.raises(InvalidParameterError):
+        run_loadgen(clients=0, quiet=True)
+
+
+def test_loadgen_gate_raises_on_mismatch(tmp_path, monkeypatch):
+    """Force a report divergence and confirm the gate trips."""
+    from repro.service import loadgen as module
+
+    real = module._expected_reports
+
+    def poisoned(specs):
+        return {shape: "not the real report\n"
+                for shape in real(specs)}
+
+    monkeypatch.setattr(module, "_expected_reports", poisoned)
+    with pytest.raises(LoadgenError, match="golden mismatch"):
+        run_loadgen(clients=2, quick=True, out=tmp_path, quiet=True)
+    on_disk = json.loads((tmp_path / "loadgen.json").read_text())
+    assert on_disk["golden_mismatches"] == 2

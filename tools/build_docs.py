@@ -53,6 +53,11 @@ API_MODULES = [
     "repro.trace.spans",
     "repro.trace.metrics",
     "repro.trace.profile",
+    "repro.service",
+    "repro.service.jobs",
+    "repro.service.tenants",
+    "repro.service.http",
+    "repro.service.loadgen",
 ]
 
 #: packages whose every submodule must be *classified* — either
@@ -61,7 +66,7 @@ API_MODULES = [
 #: that is neither fails ``--check``, so the API reference cannot
 #: silently lose coverage of new code.
 API_PACKAGES = ["repro.sycl", "repro.harness", "repro.resilience",
-                "repro.trace"]
+                "repro.trace", "repro.service"]
 
 #: submodules re-exported through their package ``__init__`` (and thus
 #: documented via the package page) rather than on a page of their own
