@@ -62,6 +62,7 @@ __all__ = [
     "workload_cache_stats",
     "clear_workload_cache",
     "journal_record",
+    "journal_record_trusted",
     "result_from_record",
 ]
 
@@ -530,6 +531,28 @@ def journal_record(result: RunResult, mode: str | None = None,
     }
 
 
+def journal_record_trusted(record: dict, *, device_key: str,
+                           variant: Variant, mode: str | None,
+                           wanted: set, fingerprint: str | None) -> bool:
+    """Whether a journal ``record`` may stand in for executing its cell.
+
+    The single validity predicate shared by every journal consumer: the
+    ``--resume`` filter in :func:`run_suite_functional` and the sweep
+    service's resume-aware quota credit
+    (:meth:`repro.service.jobs.JobQueue.submit`) — so a record the
+    resume path would re-execute (stale code fingerprint, foreign
+    device/variant/mode, drifted workload scale) is never silently
+    trusted, or credited, anywhere else.
+    """
+    return (record.get("status") == "done"
+            and record.get("fingerprint") == fingerprint
+            and record.get("device") == device_key
+            and record.get("variant") == variant.value
+            and record.get("mode") == (mode or "auto")
+            and record.get("config") in wanted
+            and record.get("scale") == _DEFAULT_SCALES[record["config"]])
+
+
 def result_from_record(record: dict) -> RunResult:
     """Rebuild a report-grade :class:`RunResult` from a journal record
     (no workload/outputs — those belong to the run that computed them)."""
@@ -606,14 +629,10 @@ def run_suite_functional(device_key: str = "rtx2080",
     if journal is not None and resume:
         wanted = set(configs)
         for record in journal.load():
-            if (record.get("status") == "done"
-                    and record.get("fingerprint") == fingerprint
-                    and record.get("device") == device_key
-                    and record.get("variant") == variant.value
-                    and record.get("mode") == (mode or "auto")
-                    and record.get("config") in wanted
-                    and record.get("scale")
-                    == _DEFAULT_SCALES[record["config"]]):
+            if journal_record_trusted(record, device_key=device_key,
+                                      variant=variant, mode=mode,
+                                      wanted=wanted,
+                                      fingerprint=fingerprint):
                 done[record["config"]] = record
     if done:
         _trace_metrics.counter("resilience.cells_resumed").inc(len(done))

@@ -219,6 +219,12 @@ class _SweepHandler(BaseHTTPRequestHandler):
             self._error(500, f"{type(exc).__name__}: {exc}")
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to answer
+        except (ValueError, TypeError) as exc:
+            # request validation that raises outside the ReproError
+            # hierarchy (mis-typed JSON fields, bad numeric coercions):
+            # still the client's fault, so a 400, not a dropped
+            # connection with a stderr traceback
+            self._error(400, f"{type(exc).__name__}: {exc}")
         finally:
             _metrics.histogram("service.http_latency_s").observe(
                 time.monotonic() - started)
@@ -294,8 +300,12 @@ class _SweepHandler(BaseHTTPRequestHandler):
         as they happen, until the job is terminal (or ``timeout``
         seconds pass, default 60)."""
         follow = query.get("follow", ["0"])[0] in ("1", "true", "yes")
-        timeout = float(query.get("timeout", ["60"])[0])
-        since = int(query.get("since", ["0"])[0])
+        try:
+            timeout = float(query.get("timeout", ["60"])[0])
+            since = int(query.get("since", ["0"])[0])
+        except ValueError:
+            raise InvalidParameterError(
+                "'timeout' and 'since' query parameters must be numeric")
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         # stream until done: chunked-less, so close delimits the body

@@ -43,7 +43,8 @@ from ..altis.base import Variant
 from ..common.errors import (CellExecutionError, InvalidParameterError,
                              ReproError)
 from ..harness.reporting import render_suite_report
-from ..harness.runner import _DEFAULT_SCALES, run_suite_functional
+from ..harness.runner import (_DEFAULT_SCALES, journal_record_trusted,
+                              run_suite_functional)
 from ..resilience import FailedCell, FaultPlan, RetryPolicy
 from ..trace.metrics import registry as _metrics
 from .tenants import Tenant, TenantRegistry
@@ -92,7 +93,12 @@ class JobSpec:
     tag: str = ""
 
     def __post_init__(self):
-        Variant(self.variant)  # raises ValueError on unknown variants
+        try:
+            Variant(self.variant)
+        except ValueError:
+            raise InvalidParameterError(
+                f"unknown variant {self.variant!r}; expected one of "
+                f"{[v.value for v in Variant]}") from None
         if self.mode not in _EXECUTOR_MODES:
             raise InvalidParameterError(
                 f"unknown executor mode {self.mode!r}; "
@@ -296,6 +302,7 @@ class JobQueue:
                 f"workers must be >= 1, got {workers!r}")
         self.tenants = tenants
         self._jobs: dict[str, Job] = {}
+        self._code_fingerprint: str | None = None
         self._queue: _queue.Queue = _queue.Queue()
         self._lock = threading.Lock()
         self._killed = threading.Event()
@@ -325,15 +332,25 @@ class JobQueue:
             if existing is not None and existing.state != "failed":
                 return existing
         sid = sweep_id(tenant_name, spec)
+        # journal read (disk I/O) stays outside the lock; the
+        # existing-check is redone under it before the charge lands
         charge = max(0, spec.cell_count()
                      - self._journaled_cells(tenant, sid, spec))
-        try:
-            tenant.admit(charge)
-        except ReproError:
-            _metrics.counter("service.jobs_rejected").inc()
-            raise
-        job = Job(jid, tenant_name, spec, sid)
         with self._lock:
+            # re-check: a concurrent duplicate (loadgen's
+            # retry-on-connection-fault shape) may have inserted between
+            # the fast-path check and here.  Admit + insert under one
+            # lock, so exactly one submission charges the tenant and
+            # takes the active-job slot.
+            existing = self._jobs.get(jid)
+            if existing is not None and existing.state != "failed":
+                return existing
+            try:
+                tenant.admit(charge)
+            except ReproError:
+                _metrics.counter("service.jobs_rejected").inc()
+                raise
+            job = Job(jid, tenant_name, spec, sid)
             self._jobs[jid] = job
         _metrics.counter("service.jobs_submitted").inc()
         self._queue.put(jid)
@@ -341,13 +358,34 @@ class JobQueue:
 
     def _journaled_cells(self, tenant: Tenant, sid: str,
                          spec: JobSpec) -> int:
-        """Completed cells already in the sweep's journal (resume credit)."""
+        """Completed cells already in the sweep's journal (resume credit).
+
+        Applies the exact validity predicate the sweep's resume filter
+        uses (:func:`~repro.harness.runner.journal_record_trusted`):
+        records with a stale code fingerprint or drifted scale will be
+        re-executed, so they earn no credit.
+        """
         from ..harness.resultdb import SweepJournal
 
         journal = SweepJournal(tenant.journal_path(sid))
         wanted = set(spec.resolved_configs())
+        fingerprint = self._fingerprint()
         return len({r.get("config") for r in journal.load()
-                    if r.get("status") == "done" and r.get("config") in wanted})
+                    if journal_record_trusted(
+                        r, device_key=spec.device,
+                        variant=Variant(spec.variant), mode=spec.mode,
+                        wanted=wanted, fingerprint=fingerprint)})
+
+    def _fingerprint(self) -> str:
+        """The source-tree fingerprint, computed once per queue — it is
+        launch-invariant, and the hot submit path must not re-hash the
+        tree per request (idempotent, so a benign double-compute race
+        is fine)."""
+        if self._code_fingerprint is None:
+            from ..harness.resultdb import code_fingerprint
+
+            self._code_fingerprint = code_fingerprint()
+        return self._code_fingerprint
 
     # -- lookup -----------------------------------------------------------
     def get(self, jid: str, tenant: str | None = None) -> Job | None:

@@ -7,9 +7,12 @@ verifies the service's two hard promises under load:
 * **zero dropped jobs** — every accepted (202) submission reaches a
   terminal state; every quota rejection is an explicit 429, never a
   silent loss;
-* **golden-verified, byte-identical reports** — each completed job's
-  ``/report`` body must equal the report the batch ``repro suite`` path
-  produces for the same spec, byte for byte.
+* **golden-verified, byte-identical reports** — each cleanly completed
+  (``done``) job's ``/report`` body must equal the report the batch
+  ``repro suite`` path produces for the same spec, byte for byte.
+  ``degraded`` jobs — a documented terminal state whose report carries
+  :class:`~repro.resilience.FailedCell` rows — are tallied separately
+  and exempt from the byte comparison.
 
 Each client thread submits its jobs with a unique ``tag`` so the
 deterministic job ids don't collapse the fleet into one idempotent job,
@@ -122,6 +125,14 @@ class _Client(threading.Thread):
             return
         if state == "failed":
             self.stats.record_failed(latency)
+            return
+        if state == "degraded":
+            # a degraded sweep is a documented terminal state whose
+            # report legitimately carries FailedCell rows (a fault plan
+            # exhausted the retry budget), so it can never match the
+            # clean batch report byte-for-byte — tally it instead of
+            # recording a spurious golden mismatch
+            self.stats.record_ok(state, latency)
             return
         status, report = _http(
             "GET", f"{self.base_url}/v1/jobs/{jid}/report?tenant="

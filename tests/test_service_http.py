@@ -153,6 +153,26 @@ def test_bad_requests_are_400(service):
     assert status == 404
 
 
+def test_validation_type_errors_are_400_not_dropped_connections(service):
+    """Validation that raises bare ValueError/TypeError (unknown
+    variants, mis-typed JSON fields, non-numeric query params) must map
+    to 400, not escape the handler as a dropped connection."""
+    for payload in (
+        {"tenant": "acme", "variant": "cuda-classic"},  # unknown variant
+        {"tenant": "acme", "retries": "3"},             # mis-typed field
+        {"tenant": "acme", "configs": 5},               # non-iterable
+    ):
+        status, raw = _call(f"{service.url}/v1/jobs", "POST", payload)
+        assert status == 400, (payload, raw)
+        assert "error" in json.loads(raw)
+    doc = _submit(service, "acme", configs=["Where"])
+    for params in ("timeout=soon", "since=first"):
+        status, raw = _call(
+            f"{service.url}/v1/jobs/{doc['id']}/events?tenant=acme&{params}")
+        assert status == 400, (params, raw)
+        assert "numeric" in json.loads(raw)["error"]
+
+
 def test_report_before_completion_is_409(tmp_path):
     svc = SweepService(tmp_path / "svc", workers=1)
     svc.start()

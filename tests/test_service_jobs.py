@@ -7,6 +7,9 @@ queue/tenant layer rather than the network plumbing.
 
 from __future__ import annotations
 
+import json
+import threading
+
 import pytest
 
 from repro.altis.base import Variant
@@ -121,6 +124,39 @@ def test_degraded_state_from_persistent_faults(queue):
     assert "NW" in job.report  # FailedCell row still reported
 
 
+def test_concurrent_duplicate_submissions_charge_once(registry):
+    """Regression: the idempotency check, quota admit, and job insertion
+    are atomic.  A retry storm of one spec (loadgen's
+    retry-on-connection-fault shape) must yield one job, one cell
+    charge, and no leaked active-job slot."""
+    queue = JobQueue(registry, workers=2)
+    try:
+        spec = JobSpec(configs=("Where",))
+        barrier = threading.Barrier(8)
+        jobs, lock = [], threading.Lock()
+
+        def storm():
+            barrier.wait()
+            job = queue.submit("storm", spec)
+            with lock:
+                jobs.append(job)
+
+        threads = [threading.Thread(target=storm) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(jobs) == 8 and len({id(j) for j in jobs}) == 1
+        assert queue.drain(60)
+        assert jobs[0].state == "done"
+        tenant = registry.get("storm")
+        assert tenant.jobs_admitted == 1
+        assert tenant.cells_used == 1  # charged once, not per duplicate
+        assert tenant.active_jobs == 0  # no leaked slot after completion
+    finally:
+        queue.kill()
+
+
 def test_quota_rejects_over_cell_budget(registry):
     registry.configure("small", TenantQuota(max_total_cells=2))
     queue = JobQueue(registry, workers=1)
@@ -207,6 +243,38 @@ def test_resume_credit_reduces_quota_charge(registry):
         assert job.state == "done"
         assert job.cells_resumed == 2
         assert registry.get("meter").cells_used == 2  # nothing new charged
+    finally:
+        queue2.kill()
+
+
+def test_resume_credit_ignores_stale_journal_records(registry):
+    """Records the resume filter would reject (here: written by a
+    different code fingerprint) must not reduce the quota charge — the
+    sweep re-executes those cells, so the tenant pays for them."""
+    queue1 = JobQueue(registry, workers=1)
+    first = queue1.submit("meter", JobSpec(configs=("NW", "Where")))
+    assert queue1.drain(60)
+    queue1.kill()
+    tenant = registry.get("meter")
+    assert tenant.cells_used == 2
+    # simulate a code change between runs: restamp every journal record
+    # with a stale fingerprint
+    journal = tenant.journal_path(first.sweep)
+    stale = []
+    for line in journal.read_text().splitlines():
+        record = json.loads(line)
+        record["fingerprint"] = "stale-code-0000"
+        stale.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+    journal.write_text("\n".join(stale) + "\n")
+    queue2 = JobQueue(registry, workers=1)
+    try:
+        job = queue2.submit("meter", JobSpec(configs=("NW", "Where"),
+                                             retries=1))
+        assert tenant.cells_used == 4  # full charge: no stale credit
+        assert queue2.drain(60)
+        assert job.state == "done"
+        assert job.cells_resumed == 0  # the resume filter agreed
     finally:
         queue2.kill()
 

@@ -43,6 +43,20 @@ def test_loadgen_recovers_injected_faults(tmp_path):
     assert summary["completed"] == 8  # transient faults always recover
 
 
+def test_loadgen_degraded_jobs_do_not_trip_golden_gate(tmp_path):
+    """A persistent fault degrades every job; degrade is a documented
+    terminal state whose report legitimately carries FailedCell rows,
+    so it is tallied — never counted as a golden mismatch."""
+    summary = run_loadgen(clients=4, jobs_per_client=1, tenants=2,
+                          quick=True, retries=1,
+                          inject_faults="cell:exception:1.0:persist=9",
+                          out=tmp_path, quiet=True)
+    assert summary["degraded"] == 4
+    assert summary["completed"] == 0
+    assert summary["golden_mismatches"] == 0
+    assert summary["dropped"] == 0
+
+
 def test_loadgen_against_external_service(tmp_path):
     from repro.service.http import SweepService
 
